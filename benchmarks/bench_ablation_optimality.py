@@ -1,0 +1,64 @@
+"""Ablation: heuristic routers vs the exact optimum.
+
+Quantifies the optimality gap of the trivial and SABRE routers on small
+instances where the A* exact router is tractable — grounding the mapper
+comparison in absolute terms (the paper's survey spans heuristic and
+exact approaches; this measures the distance between them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ExactRouter, Layout, SabreRouter, TrivialRouter
+from repro.hardware import surface7_device
+from repro.workloads import random_circuit
+
+
+@pytest.fixture(scope="module")
+def optimality_table():
+    device = surface7_device()
+    rows = []
+    for seed in range(10):
+        circuit = random_circuit(
+            5, 12, 0.6, seed=seed, two_qubit_gates=("cx",)
+        )
+        layout = Layout.trivial(5, 7)
+        optimal = ExactRouter().route(circuit, device, layout).swap_count
+        sabre = SabreRouter(seed=0).route(circuit, device, layout).swap_count
+        trivial = TrivialRouter().route(circuit, device, layout).swap_count
+        rows.append({"seed": seed, "optimal": optimal, "sabre": sabre, "trivial": trivial})
+    return rows
+
+
+def test_optimality_gap(benchmark, optimality_table):
+    rows = benchmark.pedantic(lambda: optimality_table, rounds=1, iterations=1)
+    print()
+    print(f"{'seed':>4s} {'optimal':>8s} {'sabre':>6s} {'trivial':>8s}")
+    for row in rows:
+        print(
+            f"{row['seed']:4d} {row['optimal']:8d} {row['sabre']:6d} "
+            f"{row['trivial']:8d}"
+        )
+    opt = np.array([r["optimal"] for r in rows], dtype=float)
+    sabre = np.array([r["sabre"] for r in rows], dtype=float)
+    trivial = np.array([r["trivial"] for r in rows], dtype=float)
+    # Sanity of optimality on every instance.
+    assert np.all(opt <= sabre)
+    assert np.all(opt <= trivial)
+    gap_sabre = (sabre.sum() - opt.sum()) / max(1.0, opt.sum())
+    gap_trivial = (trivial.sum() - opt.sum()) / max(1.0, opt.sum())
+    print(
+        f"\naggregate gap vs optimal: sabre +{100*gap_sabre:.0f}%, "
+        f"trivial +{100*gap_trivial:.0f}%"
+    )
+    # SABRE sits much closer to optimal than the trivial baseline.
+    assert gap_sabre < gap_trivial
+
+
+def test_exact_router_latency(benchmark):
+    device = surface7_device()
+    circuit = random_circuit(5, 12, 0.6, seed=3, two_qubit_gates=("cx",))
+    result = benchmark(
+        lambda: ExactRouter().route(circuit, device, Layout.trivial(5, 7))
+    )
+    assert result.swap_count >= 0

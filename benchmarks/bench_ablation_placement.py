@@ -1,0 +1,70 @@
+"""Ablation: initial-placement strategies under a fixed router.
+
+Isolates step 3 of the mapping process: with the router held fixed
+(SABRE), does algorithm-driven placement (interaction-graph embedding)
+reduce SWAPs compared to identity and random placement?
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    GraphSimilarityPlacement,
+    IsomorphismPlacement,
+    NoiseAwarePlacement,
+    QuantumMapper,
+    RandomPlacement,
+    SabrePlacement,
+    SabreRouter,
+    TrivialPlacement,
+)
+from repro.experiments import paper_configuration
+from repro.workloads import evaluation_suite
+
+PLACEMENTS = {
+    "trivial": TrivialPlacement,
+    "random": lambda: RandomPlacement(seed=0),
+    "graph-similarity": GraphSimilarityPlacement,
+    "noise-aware": NoiseAwarePlacement,
+    "isomorphism": IsomorphismPlacement,
+    "sabre-place": lambda: SabrePlacement(seed=0),
+}
+
+
+@pytest.fixture(scope="module")
+def placement_sweep():
+    device = paper_configuration()
+    suite = evaluation_suite(num_circuits=24, seed=13, max_qubits=20, max_gates=300)
+    table = {}
+    for name, factory in PLACEMENTS.items():
+        mapper = QuantumMapper(factory(), SabreRouter(seed=0), name=name)
+        swaps = [
+            mapper.map(benchmark.circuit, device).swap_count
+            for benchmark in suite
+        ]
+        table[name] = float(np.mean(swaps))
+    return table
+
+
+def test_placement_quality(benchmark, placement_sweep):
+    table = benchmark.pedantic(lambda: placement_sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'placement':18s} {'avg swaps':>10s}")
+    for name, swaps in sorted(table.items(), key=lambda kv: kv[1]):
+        print(f"{name:18s} {swaps:10.2f}")
+    # Algorithm-driven placement beats identity and random placement.
+    assert table["graph-similarity"] < table["trivial"]
+    assert table["graph-similarity"] < table["random"]
+
+
+def test_placement_latency(benchmark):
+    """Time the graph-similarity embedding itself on the 100q chip."""
+    from repro.workloads import random_circuit
+
+    device = paper_configuration()
+    circuit = random_circuit(40, 800, 0.4, seed=3)
+    placement = GraphSimilarityPlacement()
+    layout = benchmark.pedantic(
+        lambda: placement.place(circuit, device), rounds=3, iterations=1
+    )
+    assert layout.num_virtual == 40

@@ -1,0 +1,72 @@
+"""Ablation: the same workload across chip topologies.
+
+The paper frames limited qubit connectivity as *the* central mapping
+constraint; this bench sweeps the connectivity axis — line, ring, square
+grid, surface-code lattice, star, all-to-all — at a fixed qubit count and
+measures the routing cost of a common workload set on each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import trivial_mapper
+from repro.hardware import (
+    CNOT_GATESET,
+    Device,
+    SURFACE17_CALIBRATION,
+    TOPOLOGY_GENERATORS,
+)
+from repro.workloads import evaluation_suite
+
+NUM_QUBITS = 25
+
+
+@pytest.fixture(scope="module")
+def topology_sweep():
+    suite = evaluation_suite(num_circuits=15, seed=21, max_qubits=20, max_gates=250)
+    mapper = trivial_mapper()
+    table = {}
+    for name, generator in TOPOLOGY_GENERATORS.items():
+        device = Device(
+            generator(NUM_QUBITS), SURFACE17_CALIBRATION, CNOT_GATESET
+        )
+        swaps = [
+            mapper.map(benchmark.circuit, device).swap_count
+            for benchmark in suite
+        ]
+        table[name] = float(np.mean(swaps))
+    return table
+
+
+def test_topology_ordering(benchmark, topology_sweep):
+    table = benchmark.pedantic(lambda: topology_sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'topology':10s} {'avg swaps':>10s}")
+    for name, swaps in sorted(table.items(), key=lambda kv: kv[1]):
+        print(f"{name:10s} {swaps:10.2f}")
+    # All-to-all needs no routing at all.
+    assert table["full"] == 0.0
+    # Richer connectivity strictly helps: full < grid/surface < line.
+    assert table["grid"] < table["line"]
+    assert table["surface"] < table["line"]
+    # The ring is barely better than the line; the star funnels everything
+    # through the hub and the grid beats both.
+    assert table["grid"] < table["ring"]
+
+
+def test_topology_distance_profile(benchmark):
+    """Average inter-qubit distance per topology (routing's lower bound)."""
+    rows = benchmark.pedantic(
+        lambda: {
+            name: generator(NUM_QUBITS).average_distance()
+            for name, generator in TOPOLOGY_GENERATORS.items()
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{'topology':10s} {'avg distance':>13s}")
+    for name, distance in sorted(rows.items(), key=lambda kv: kv[1]):
+        print(f"{name:10s} {distance:13.2f}")
+    assert rows["full"] == 1.0
+    assert rows["line"] > rows["grid"] > rows["full"]

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These are conventional pytest-benchmark timings (multiple rounds): the
+simulator's gate application, router throughput, metric computation,
+QASM parsing and the fidelity model.
+"""
+
+import pytest
+
+from repro.circuit import parse_qasm, to_qasm
+from repro.compiler import Layout, SabreRouter, TrivialRouter, asap_schedule
+from repro.core import InteractionGraph, compute_metrics
+from repro.experiments import paper_configuration
+from repro.metrics import log_fidelity
+from repro.sim import statevector
+from repro.workloads import qft, random_circuit
+
+
+@pytest.fixture(scope="module")
+def device100():
+    return paper_configuration()
+
+
+def test_statevector_simulation_12q(benchmark):
+    circuit = random_circuit(12, 200, 0.3, seed=0)
+    state = benchmark(lambda: statevector(circuit))
+    assert state.size == 2 ** 12
+
+
+def test_trivial_router_throughput(benchmark, device100):
+    circuit = random_circuit(40, 2000, 0.35, seed=5)
+    layout = Layout.trivial(40, 100)
+    result = benchmark(
+        lambda: TrivialRouter().route(circuit, device100, layout)
+    )
+    assert result.swap_count > 0
+
+
+def test_sabre_router_throughput(benchmark, device100):
+    circuit = random_circuit(40, 500, 0.35, seed=5)
+    layout = Layout.trivial(40, 100)
+    result = benchmark(
+        lambda: SabreRouter(seed=0).route(circuit, device100, layout)
+    )
+    assert result.swap_count > 0
+
+
+def test_metric_suite_54q(benchmark):
+    circuit = random_circuit(54, 5000, 0.5, seed=1)
+    graph = InteractionGraph.from_circuit(circuit)
+    metrics = benchmark(lambda: compute_metrics(graph))
+    assert metrics.num_qubits == 54
+
+
+def test_qasm_roundtrip_throughput(benchmark):
+    circuit = random_circuit(20, 2000, 0.4, seed=2)
+    text = to_qasm(circuit)
+    parsed = benchmark(lambda: parse_qasm(text))
+    assert len(parsed) == len(circuit)
+
+
+def test_scheduler_throughput(benchmark):
+    circuit = random_circuit(30, 3000, 0.4, seed=3)
+    schedule = benchmark(lambda: asap_schedule(circuit))
+    assert schedule.latency_ns > 0
+
+
+def test_fidelity_model_throughput(benchmark):
+    circuit = random_circuit(30, 10000, 0.4, seed=4)
+    value = benchmark(lambda: log_fidelity(circuit))
+    assert value < 0
+
+
+def test_qft_mapping_end_to_end(benchmark, device100):
+    from repro.compiler import trivial_mapper
+
+    circuit = qft(20, do_swaps=False)
+    mapper = trivial_mapper()
+    result = benchmark.pedantic(
+        lambda: mapper.map(circuit, device100), rounds=3, iterations=1
+    )
+    assert result.verify is not None

@@ -1,0 +1,30 @@
+"""Regenerates Fig. 4: QAOA vs random circuit with identical size params.
+
+Prints both interaction graphs (edge lists and metric contrast) and
+asserts the figure's message: same (qubits, gates, 2q%), structurally
+different graphs — the random one denser and more uniform.
+"""
+
+from repro.experiments import format_fig4, run_fig4
+
+
+def test_fig4_interaction_graph_contrast(benchmark):
+    result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+    print()
+    print(format_fig4(result))
+
+    # Premise: the three common size parameters coincide.
+    assert result.size_parameters_match()
+
+    contrast = result.structural_contrast()
+    qaoa_edges, random_edges = contrast["num_edges"]
+    # "the graph of the random circuit is more complex with
+    # full-connectivity": near the complete 15-edge graph on 6 qubits.
+    assert random_edges >= 13
+    assert qaoa_edges < random_edges
+    # QAOA's weights are concentrated (higher dispersion of the adjacency
+    # matrix), the random circuit's spread uniformly.
+    assert contrast["adjacency_std"][0] > contrast["adjacency_std"][1]
+    # Density/path-length contrast.
+    assert contrast["density"][1] > contrast["density"][0]
+    assert contrast["avg_shortest_path"][0] >= contrast["avg_shortest_path"][1]

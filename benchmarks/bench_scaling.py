@@ -1,0 +1,89 @@
+"""Scaling study: mapping cost and runtime vs chip and circuit size.
+
+Two sweeps a systems reader wants next to Fig. 3:
+
+* **device scaling** — the same relative workload mapped onto growing
+  surface-code chips (the paper's "qubit counts are rapidly increasing"
+  motivation): overhead grows with chip diameter ~ sqrt(n) under trivial
+  mapping,
+* **circuit scaling** — router runtime vs gate count at a fixed device,
+  confirming the near-linear throughput of both routers.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.compiler import Layout, SabreRouter, TrivialRouter, trivial_mapper
+from repro.hardware import surface17_extended_device
+from repro.workloads import random_circuit
+
+DEVICE_SIZES = (25, 50, 100, 200)
+
+
+@pytest.fixture(scope="module")
+def device_scaling():
+    rows = []
+    mapper = trivial_mapper()
+    for size in DEVICE_SIZES:
+        device = surface17_extended_device(size)
+        width = max(4, size // 3)
+        circuit = random_circuit(width, 400, 0.4, seed=1)
+        started = time.perf_counter()
+        result = mapper.map(circuit, device)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "qubits": size,
+                "diameter": device.coupling.diameter(),
+                "swaps_per_2q": result.swap_count / circuit.num_two_qubit_gates,
+                "seconds": elapsed,
+            }
+        )
+    return rows
+
+
+def test_device_scaling(benchmark, device_scaling):
+    rows = benchmark.pedantic(lambda: device_scaling, rounds=1, iterations=1)
+    print()
+    print(f"{'qubits':>7s} {'diameter':>9s} {'swaps/2q':>9s} {'seconds':>8s}")
+    for row in rows:
+        print(
+            f"{row['qubits']:7d} {row['diameter']:9d} "
+            f"{row['swaps_per_2q']:9.2f} {row['seconds']:8.2f}"
+        )
+    # Larger lattices have larger diameters, and trivial routing pays
+    # proportionally more SWAPs per gate.
+    diameters = [row["diameter"] for row in rows]
+    pressures = [row["swaps_per_2q"] for row in rows]
+    assert diameters == sorted(diameters)
+    assert pressures[-1] > pressures[0]
+    # The whole sweep stays interactive.
+    assert all(row["seconds"] < 30 for row in rows)
+
+
+@pytest.mark.parametrize("gates", [500, 2000, 8000])
+def test_trivial_router_scaling(benchmark, gates):
+    device = surface17_extended_device(100)
+    circuit = random_circuit(40, gates, 0.35, seed=2)
+    layout = Layout.trivial(40, 100)
+    result = benchmark.pedantic(
+        lambda: TrivialRouter().route(circuit, device, layout),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.swap_count > 0
+
+
+@pytest.mark.parametrize("gates", [250, 1000])
+def test_sabre_router_scaling(benchmark, gates):
+    device = surface17_extended_device(100)
+    circuit = random_circuit(40, gates, 0.35, seed=2)
+    layout = Layout.trivial(40, 100)
+    result = benchmark.pedantic(
+        lambda: SabreRouter(seed=0).route(circuit, device, layout),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.swap_count > 0

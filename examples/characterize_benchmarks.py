@@ -1,0 +1,60 @@
+"""Algorithm profiling and clustering — the paper's Sec. IV workflow.
+
+Samples a benchmark suite (random / reversible / real circuits), profiles
+every circuit with the Table I interaction-graph metrics, runs the
+Pearson-correlation reduction to find a low-redundancy metric set, and
+clusters the suite in the reduced feature space.  This is exactly the
+"algorithms can be clustered based on their similarities" pipeline the
+paper proposes as the basis for algorithm-driven mapping.
+
+Run:  python examples/characterize_benchmarks.py
+"""
+
+from collections import Counter
+
+from repro import PAPER_RETAINED_METRICS, cluster_profiles, profile_suite, reduce_metrics
+from repro.workloads import evaluation_suite
+
+
+def main() -> None:
+    suite = evaluation_suite(num_circuits=45, seed=11, max_qubits=20, max_gates=400)
+    profiles = profile_suite(suite)
+    print(f"profiled {len(profiles)} benchmark circuits")
+    print(f"families: {dict(Counter(p.family for p in profiles))}")
+
+    # --- Pearson reduction (Table I) -----------------------------------
+    reduction = reduce_metrics([p.metrics for p in profiles], threshold=0.85)
+    print(f"\nPearson reduction at |r| >= {reduction.threshold}:")
+    print(f"  retained ({len(reduction.retained)}): {', '.join(reduction.retained)}")
+    recovered = [m for m in PAPER_RETAINED_METRICS if m in reduction.retained]
+    print(f"  paper's retained set recovered: {', '.join(recovered)}")
+    print("  example redundancies folded away:")
+    for name, (kept_by, r) in sorted(reduction.dropped.items())[:5]:
+        print(f"    {name:24s} |r|={r:.2f} with {kept_by}")
+
+    # --- Clustering in the reduced feature space ------------------------
+    result = cluster_profiles(profiles, k=3, seed=0)
+    print(
+        f"\nk-means clustering on {result.feature_names} "
+        f"(silhouette {result.silhouette:.2f}):"
+    )
+    for cluster in sorted(set(result.labels)):
+        members = result.members(cluster)
+        families = Counter(p.family for p in members)
+        sizes = [p.size.num_qubits for p in members]
+        print(
+            f"  cluster {cluster}: {len(members):2d} circuits, "
+            f"families {dict(families)}, "
+            f"qubits {min(sizes)}-{max(sizes)}"
+        )
+        for profile in members[:3]:
+            print(
+                f"      {profile.name[:32]:32s} "
+                f"path={profile.metrics.avg_shortest_path:.2f} "
+                f"maxdeg={profile.metrics.max_degree:.0f} "
+                f"adj_std={profile.metrics.adjacency_std:.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Validating the paper's fidelity model against simulation ground truth.
+
+Fig. 3 computes circuit fidelity as a product of gate fidelities — a
+closed-form proxy.  This example stacks the library's three noise layers
+on the same circuits and shows how well the proxy holds up:
+
+1. **product model** (`repro.metrics.product_fidelity`) — the paper's
+   formula, instant,
+2. **Monte-Carlo trajectories** (`repro.sim.estimate_success_rate`) —
+   stochastic Pauli errors through the state-vector simulator,
+3. **density matrix** (`repro.sim.channel_fidelity`) — exact evolution
+   through depolarizing Kraus channels.
+
+Run:  python examples/noise_model_validation.py
+"""
+
+from repro.hardware import SURFACE17_CALIBRATION
+from repro.metrics import product_fidelity
+from repro.sim import channel_fidelity, estimate_success_rate
+from repro.workloads import ghz_state, qft, random_circuit, vqe_ansatz
+
+
+def main() -> None:
+    # Amplify the Versluis rates 3x so differences are visible at
+    # these small circuit sizes.
+    calibration = SURFACE17_CALIBRATION.scaled(3.0)
+    print(
+        "noise model: depolarizing, 1q error "
+        f"{calibration.single_qubit_error:.3f}, 2q error "
+        f"{calibration.two_qubit_error:.3f}\n"
+    )
+
+    circuits = [
+        ghz_state(5),
+        qft(5, do_swaps=False),
+        vqe_ansatz(5, num_layers=3, seed=0),
+        random_circuit(5, 40, 0.4, seed=1),
+        random_circuit(6, 90, 0.5, seed=2),
+    ]
+
+    print(
+        f"{'circuit':18s} {'product model':>13s} {'monte-carlo':>18s} "
+        f"{'density matrix':>14s}"
+    )
+    for circuit in circuits:
+        unitary_part = circuit.without_directives()
+        model = product_fidelity(unitary_part, calibration)
+        monte_carlo = estimate_success_rate(
+            unitary_part, calibration, trajectories=300, seed=7
+        )
+        exact = channel_fidelity(unitary_part, calibration)
+        print(
+            f"{circuit.name:18s} {model:13.4f} "
+            f"{monte_carlo.mean:9.4f} ± {monte_carlo.std_error:5.4f} "
+            f"{exact:14.4f}"
+        )
+
+    print(
+        "\nreading: the product model is a slightly conservative lower "
+        "bound of the\nexact channel fidelity (independent Pauli errors can "
+        "cancel), and the\nMonte-Carlo estimate converges to the exact value "
+        "— so the paper's proxy\norders circuits correctly, which is all "
+        "Fig. 3 needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Reproduce every figure and table of the paper in one run.
+
+Regenerates Fig. 3(a/b/c), Fig. 4, Fig. 5 and Table I — by default on a
+reduced 60-circuit suite (~30 s); pass ``--full`` for the paper's
+200-circuit configuration (~2 min).
+
+Run:  python examples/reproduce_paper.py [--full]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    fig3_data,
+    fig5_data,
+    fig5_decile_contrast,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_table1,
+    paper_configuration,
+    run_fig4,
+    run_suite,
+    run_table1,
+)
+from repro.workloads import evaluation_suite
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full 200-circuit configuration",
+    )
+    args = parser.parse_args(argv)
+
+    if args.full:
+        suite = evaluation_suite(num_circuits=200, seed=2022, max_gates=20000)
+    else:
+        suite = evaluation_suite(num_circuits=60, seed=2022, max_qubits=30, max_gates=2000)
+
+    print(
+        f"mapping {len(suite)} benchmarks onto the "
+        f"{paper_configuration().name} with the trivial mapper ..."
+    )
+    started = time.time()
+    records = run_suite(
+        suite,
+        progress=lambda i, n, name: (
+            print(f"  {i}/{n} {name}", file=sys.stderr) if i % 25 == 0 else None
+        ),
+    )
+    print(f"done in {time.time() - started:.1f}s\n")
+
+    banner = "=" * 72
+    print(banner)
+    print(format_fig3(fig3_data(records)))
+    print(banner)
+    print(format_fig4(run_fig4()))
+    print(banner)
+    data5 = fig5_data(records)
+    print(format_fig5(data5))
+    print("\nTop-overhead decile vs rest (the paper's Fig. 5 reading):")
+    for metric, (top, rest, ok) in fig5_decile_contrast(data5).items():
+        print(f"  {metric:20s} top={top:8.2f} rest={rest:8.2f} as-expected={ok}")
+    print(banner)
+    print(format_table1(run_table1(records)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` / ``python setup.py develop`` work on
+environments whose setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

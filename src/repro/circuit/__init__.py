@@ -1,0 +1,36 @@
+"""Circuit intermediate representation: gates, circuits, DAGs and QASM I/O."""
+
+from .gates import (
+    Gate,
+    GateDefinition,
+    STANDARD_GATES,
+    gate_definition,
+    gate_matrix,
+    gate_inverse,
+    gates_commute,
+)
+from .circuit import Circuit, CircuitError
+from .dag import CircuitDag, ExecutionFrontier
+from .qasm import QasmError, parse_qasm, to_qasm
+from .stats import SizeParameters, size_parameters
+from .drawer import draw
+
+__all__ = [
+    "Gate",
+    "GateDefinition",
+    "STANDARD_GATES",
+    "gate_definition",
+    "gate_matrix",
+    "gate_inverse",
+    "gates_commute",
+    "Circuit",
+    "CircuitError",
+    "CircuitDag",
+    "ExecutionFrontier",
+    "QasmError",
+    "parse_qasm",
+    "to_qasm",
+    "SizeParameters",
+    "size_parameters",
+    "draw",
+]

@@ -1,0 +1,155 @@
+"""Gate-dependency DAG over a circuit.
+
+The DAG records, for every gate, which earlier gates it depends on through
+shared qubits.  It is the workhorse behind the SABRE-style router (front
+layer + successors), the schedulers (ready sets) and depth computations.
+
+Nodes are integer indices into the circuit's gate list, so the DAG stays
+valid as long as the circuit is not mutated.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["CircuitDag"]
+
+
+class CircuitDag:
+    """Qubit-dependency DAG of a circuit.
+
+    Two gates are ordered iff they share a qubit; each gate depends
+    directly on the *last* previous gate on each of its qubits.  This is
+    the standard "gate dependency graph" used by mapping papers.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        n = len(circuit)
+        self._preds: List[List[int]] = [[] for _ in range(n)]
+        self._succs: List[List[int]] = [[] for _ in range(n)]
+        last_on_qubit: Dict[int, int] = {}
+        for index, gate in enumerate(circuit):
+            seen_preds: Set[int] = set()
+            for q in gate.qubits:
+                prev = last_on_qubit.get(q)
+                if prev is not None and prev not in seen_preds:
+                    seen_preds.add(prev)
+                    self._preds[index].append(prev)
+                    self._succs[prev].append(index)
+                last_on_qubit[q] = index
+        self._indegree = [len(p) for p in self._preds]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._preds)
+
+    def gate(self, node: int) -> Gate:
+        return self.circuit[node]
+
+    def predecessors(self, node: int) -> Tuple[int, ...]:
+        return tuple(self._preds[node])
+
+    def successors(self, node: int) -> Tuple[int, ...]:
+        return tuple(self._succs[node])
+
+    def in_degree(self, node: int) -> int:
+        return self._indegree[node]
+
+    def front_layer(self) -> List[int]:
+        """Nodes with no predecessors (executable first)."""
+        return [i for i, d in enumerate(self._indegree) if d == 0]
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> Iterator[int]:
+        """Kahn topological iteration (equals original order for us, but
+        kept generic so consumers do not rely on that accident)."""
+        indegree = list(self._indegree)
+        ready = deque(i for i, d in enumerate(indegree) if d == 0)
+        emitted = 0
+        while ready:
+            node = ready.popleft()
+            emitted += 1
+            yield node
+            for succ in self._succs[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if emitted != self.num_nodes:  # pragma: no cover - defensive
+            raise RuntimeError("dependency graph contains a cycle")
+
+    def layers(self) -> List[List[int]]:
+        """ASAP layering: each layer's gates have all deps in earlier layers."""
+        depth = [0] * self.num_nodes
+        for node in self.topological_order():
+            for succ in self._succs[node]:
+                depth[succ] = max(depth[succ], depth[node] + 1)
+        if not depth:
+            return []
+        layers: List[List[int]] = [[] for _ in range(max(depth) + 1)]
+        for node, d in enumerate(depth):
+            layers[d].append(node)
+        return layers
+
+    def longest_path_length(self) -> int:
+        """Number of nodes on the longest dependency chain."""
+        layer_list = self.layers()
+        return len(layer_list)
+
+    def descendants(self, node: int) -> Set[int]:
+        """All nodes reachable from ``node`` (excluding itself)."""
+        seen: Set[int] = set()
+        stack = list(self._succs[node])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._succs[current])
+        return seen
+
+
+class ExecutionFrontier:
+    """Mutable 'front layer' view used by routers and schedulers.
+
+    Starts at the DAG's front layer; :meth:`complete` retires a node and
+    reveals newly-ready successors.  The frontier is exhausted when every
+    node has been completed.
+    """
+
+    def __init__(self, dag: CircuitDag) -> None:
+        self.dag = dag
+        self._indegree = [dag.in_degree(i) for i in range(dag.num_nodes)]
+        self._ready: Set[int] = {i for i, d in enumerate(self._indegree) if d == 0}
+        self._done = 0
+
+    @property
+    def ready(self) -> Set[int]:
+        """Currently executable node set (do not mutate)."""
+        return self._ready
+
+    @property
+    def exhausted(self) -> bool:
+        return self._done == self.dag.num_nodes
+
+    def complete(self, node: int) -> List[int]:
+        """Retire ``node``; return the list of newly ready nodes."""
+        if node not in self._ready:
+            raise ValueError(f"node {node} is not ready")
+        self._ready.discard(node)
+        self._done += 1
+        revealed = []
+        for succ in self.dag.successors(node):
+            self._indegree[succ] -= 1
+            if self._indegree[succ] == 0:
+                self._ready.add(succ)
+                revealed.append(succ)
+        return revealed
+
+
+__all__.append("ExecutionFrontier")

@@ -1,0 +1,157 @@
+"""Plain-text circuit rendering.
+
+``draw(circuit)`` produces a fixed-width ASCII diagram — one wire per
+qubit, one column per ASAP moment, with multi-qubit gates drawn as
+control dots, targets and vertical connectors.  Used by the examples and
+handy when debugging mapping output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["draw"]
+
+_SYMBOLS_2Q = {
+    "cx": ("●", "X"),
+    "cz": ("●", "●"),
+    "cp": ("●", "P"),
+    "crx": ("●", "Rx"),
+    "cry": ("●", "Ry"),
+    "crz": ("●", "Rz"),
+    "ch": ("●", "H"),
+    "swap": ("x", "x"),
+    "iswap": ("*", "*"),
+    "iswapdg": ("*", "*"),
+    "rzz": ("ZZ", "ZZ"),
+    "rxx": ("XX", "XX"),
+    "ryy": ("YY", "YY"),
+}
+_SYMBOLS_3Q = {
+    "ccx": ("●", "●", "X"),
+    "ccz": ("●", "●", "●"),
+    "cswap": ("●", "x", "x"),
+}
+
+
+def _format_angle(value: float) -> str:
+    text = f"{value:.2g}"
+    return text
+
+
+def _cell_labels(gate: Gate) -> List[str]:
+    """Per-qubit cell text for one gate, in gate-operand order."""
+    if gate.name == "measure":
+        return ["M"]
+    if gate.name == "reset":
+        return ["|0>"]
+    if gate.name == "barrier":
+        return ["░"] * gate.num_qubits
+    if gate.num_qubits == 1:
+        if gate.params:
+            return [f"{gate.name.capitalize()}({_format_angle(gate.params[0])})"]
+        return [gate.name.upper()]
+    if gate.name in _SYMBOLS_2Q:
+        first, second = _SYMBOLS_2Q[gate.name]
+        if gate.params:
+            second = f"{second}({_format_angle(gate.params[0])})"
+        return [first, second]
+    if gate.name in _SYMBOLS_3Q:
+        return list(_SYMBOLS_3Q[gate.name])
+    return [gate.name.upper()] * gate.num_qubits  # pragma: no cover
+
+
+def draw(circuit: Circuit, max_width: int = 0) -> str:
+    """Render ``circuit`` as an ASCII diagram.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to draw.
+    max_width:
+        Wrap the diagram into blocks of at most this many characters per
+        line (0 = never wrap).
+    """
+    n = circuit.num_qubits
+    if n == 0:
+        return "(empty register)"
+    moments = circuit.moments()
+    num_rows = 2 * n - 1  # qubit wires interleaved with connector rows
+
+    columns: List[List[str]] = []
+    for moment in moments:
+        cells = [""] * num_rows
+        connect: List[bool] = [False] * num_rows
+        for gate in moment:
+            labels = _cell_labels(gate)
+            rows = [2 * q for q in gate.qubits]
+            for row, label in zip(rows, labels):
+                cells[row] = label
+            low, high = min(rows), max(rows)
+            if gate.name != "barrier":
+                for row in range(low + 1, high):
+                    connect[row] = True
+            else:
+                for row in range(low + 1, high):
+                    if row % 2 == 1:
+                        cells[row] = "░"
+        width = max((len(c) for c in cells), default=1)
+        width = max(width, 1)
+        column = []
+        for row in range(num_rows):
+            text = cells[row]
+            if row % 2 == 0:  # qubit wire
+                if text:
+                    pad = width - len(text)
+                    column.append("─" * (pad // 2) + text + "─" * (pad - pad // 2))
+                elif connect[row]:
+                    pad = width - 1
+                    column.append("─" * (pad // 2) + "┼" + "─" * (pad - pad // 2))
+                else:
+                    column.append("─" * width)
+            else:  # gap row
+                if text:
+                    pad = width - len(text)
+                    column.append(" " * (pad // 2) + text + " " * (pad - pad // 2))
+                elif connect[row]:
+                    pad = width - 1
+                    column.append(" " * (pad // 2) + "│" + " " * (pad - pad // 2))
+                else:
+                    column.append(" " * width)
+        columns.append(column)
+
+    labels = [f"q{q}: " for q in range(n)]
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for row in range(num_rows):
+        if row % 2 == 0:
+            prefix = labels[row // 2].rjust(label_width)
+            body = "─".join(column[row] for column in columns)
+        else:
+            prefix = " " * label_width
+            body = " ".join(column[row] for column in columns)
+        lines.append(prefix + body)
+
+    if max_width and lines and len(lines[0]) > max_width:
+        return _wrap(lines, label_width, max_width)
+    return "\n".join(lines)
+
+
+def _wrap(lines: List[str], label_width: int, max_width: int) -> str:
+    """Split wide diagrams into stacked blocks."""
+    body_width = max_width - label_width
+    blocks = []
+    position = label_width
+    total = len(lines[0])
+    while position < total:
+        end = min(total, position + body_width)
+        block = []
+        for line in lines:
+            prefix = line[:label_width] if position == label_width else " " * label_width
+            block.append(prefix + line[position:end])
+        blocks.append("\n".join(block))
+        position = end
+    return ("\n" + "." * max_width + "\n").join(blocks)

@@ -1,0 +1,531 @@
+"""OpenQASM 2.0 subset reader and writer.
+
+Supports the fragment of OpenQASM 2.0 that the benchmark suites of the
+paper (qbench / RevLib exports) use:
+
+* ``OPENQASM 2.0;`` header and ``include`` statements (includes are
+  ignored; the ``qelib1.inc`` gate vocabulary is built in),
+* ``qreg`` / ``creg`` declarations (multiple quantum registers are
+  flattened into one contiguous index space),
+* gate applications with parameter expressions over ``pi``, numeric
+  literals, ``+ - * / ^`` and parentheses,
+* register broadcasting (``h q;`` applies to every qubit of ``q``),
+* ``measure``, ``reset``, ``barrier``,
+* user ``gate`` macro definitions, expanded inline at application time,
+* ``//`` comments.
+
+Unsupported constructs (``if``, ``opaque``) raise :class:`QasmError` with
+the offending line number.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+from .gates import Gate, STANDARD_GATES, gate_definition, resolve_alias
+
+__all__ = ["QasmError", "parse_qasm", "to_qasm"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported QASM input."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation (parameters)
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+(?:[eE][+-]?\d+)?)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>[()+\-*/^]))"
+)
+
+
+def _tokenize_expr(text: str, line: int) -> List[Tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise QasmError(f"bad expression near {text[pos:]!r}", line)
+        pos = match.end()
+        for kind in ("num", "name", "op"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _ExprParser:
+    """Recursive-descent parser for QASM parameter expressions."""
+
+    _FUNCTIONS = {
+        "sin": math.sin,
+        "cos": math.cos,
+        "tan": math.tan,
+        "exp": math.exp,
+        "ln": math.log,
+        "sqrt": math.sqrt,
+    }
+
+    def __init__(self, tokens: List[Tuple[str, str]], env: Dict[str, float], line: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.env = env
+        self.line = line
+
+    def parse(self) -> float:
+        value = self._expr()
+        if self.pos != len(self.tokens):
+            raise QasmError("trailing tokens in expression", self.line)
+        return value
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _take(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise QasmError("unexpected end of expression", self.line)
+        self.pos += 1
+        return token
+
+    def _expr(self) -> float:
+        value = self._term()
+        while True:
+            token = self._peek()
+            if token == ("op", "+"):
+                self._take()
+                value += self._term()
+            elif token == ("op", "-"):
+                self._take()
+                value -= self._term()
+            else:
+                return value
+
+    def _term(self) -> float:
+        value = self._unary()
+        while True:
+            token = self._peek()
+            if token == ("op", "*"):
+                self._take()
+                value *= self._unary()
+            elif token == ("op", "/"):
+                self._take()
+                divisor = self._unary()
+                if divisor == 0:
+                    raise QasmError("division by zero in expression", self.line)
+                value /= divisor
+            else:
+                return value
+
+    def _unary(self) -> float:
+        token = self._peek()
+        if token == ("op", "-"):
+            self._take()
+            return -self._unary()
+        if token == ("op", "+"):
+            self._take()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> float:
+        base = self._atom()
+        if self._peek() == ("op", "^"):
+            self._take()
+            return base ** self._unary()
+        return base
+
+    def _atom(self) -> float:
+        kind, value = self._take()
+        if kind == "num":
+            return float(value)
+        if kind == "name":
+            if value in self._FUNCTIONS:
+                if self._take() != ("op", "("):
+                    raise QasmError(f"expected '(' after {value}", self.line)
+                arg = self._expr()
+                if self._take() != ("op", ")"):
+                    raise QasmError(f"missing ')' after {value}(...", self.line)
+                return self._FUNCTIONS[value](arg)
+            if value == "pi":
+                return math.pi
+            if value in self.env:
+                return self.env[value]
+            raise QasmError(f"unknown identifier {value!r} in expression", self.line)
+        if (kind, value) == ("op", "("):
+            inner = self._expr()
+            if self._take() != ("op", ")"):
+                raise QasmError("missing ')'", self.line)
+            return inner
+        raise QasmError(f"unexpected token {value!r}", self.line)
+
+
+def _eval_expr(text: str, env: Dict[str, float], line: int) -> float:
+    return _ExprParser(_tokenize_expr(text, line), env, line).parse()
+
+
+def _split_args(text: str, line: int) -> List[str]:
+    """Split a comma-separated list, respecting parentheses."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise QasmError("unbalanced parentheses", line)
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _GateMacro:
+    name: str
+    params: List[str]
+    qubits: List[str]
+    body: List[Tuple[str, int]]  # statements with their source line
+
+
+_STMT_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"(?:\s*\((?P<params>.*)\))?"
+    r"\s*(?P<args>[^;{]*)$"
+)
+_REG_REF_RE = re.compile(r"^(?P<reg>[A-Za-z_][A-Za-z_0-9]*)(?:\[(?P<idx>\d+)\])?$")
+
+
+class _QasmParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.qregs: Dict[str, Tuple[int, int]] = {}  # name -> (offset, size)
+        self.cregs: Dict[str, int] = {}
+        self.macros: Dict[str, _GateMacro] = {}
+        self.num_qubits = 0
+        self.gates: List[Gate] = []
+
+    # -- statement stream ------------------------------------------------
+    def _statements(self) -> List[Tuple[str, int]]:
+        """Split source into ';'-terminated statements plus '{'/'}' tokens."""
+        statements: List[Tuple[str, int]] = []
+        current: List[str] = []
+        current_line = 1
+        line = 1
+        i = 0
+        text = self.text
+        while i < len(text):
+            ch = text[i]
+            if ch == "/" and text[i : i + 2] == "//":
+                while i < len(text) and text[i] != "\n":
+                    i += 1
+                continue
+            if ch == "\n":
+                line += 1
+                i += 1
+                continue
+            if ch in ";{}":
+                stmt = "".join(current).strip()
+                if stmt:
+                    statements.append((stmt, current_line))
+                if ch in "{}":
+                    statements.append((ch, line))
+                current = []
+                current_line = line
+                i += 1
+                continue
+            if not current and ch.isspace():
+                current_line = line
+            current.append(ch)
+            i += 1
+        tail = "".join(current).strip()
+        if tail:
+            raise QasmError(f"unterminated statement {tail!r}", current_line)
+        return statements
+
+    # -- top level ---------------------------------------------------------
+    def parse(self) -> Circuit:
+        statements = self._statements()
+        index = 0
+        while index < len(statements):
+            stmt, line = statements[index]
+            index += 1
+            if stmt in "{}":
+                raise QasmError("unexpected brace", line)
+            head = stmt.split(None, 1)[0]
+            if head == "OPENQASM":
+                continue
+            if head == "include":
+                continue
+            if head == "qreg":
+                self._declare_qreg(stmt, line)
+                continue
+            if head == "creg":
+                self._declare_creg(stmt, line)
+                continue
+            if head == "gate":
+                index = self._parse_macro(statements, index - 1)
+                continue
+            if head in {"if", "opaque"}:
+                raise QasmError(f"unsupported statement kind {head!r}", line)
+            self._apply_statement(stmt, line, env={}, qubit_env=None)
+        circuit = Circuit(self.num_qubits, name="")
+        for gate in self.gates:
+            circuit.append(gate)
+        return circuit
+
+    _DECL_RE = re.compile(r"^(qreg|creg)\s+([A-Za-z_][A-Za-z_0-9]*)\[(\d+)\]$")
+
+    def _declare_qreg(self, stmt: str, line: int) -> None:
+        match = self._DECL_RE.match(stmt)
+        if not match:
+            raise QasmError(f"malformed qreg declaration {stmt!r}", line)
+        name, size = match.group(2), int(match.group(3))
+        if name in self.qregs:
+            raise QasmError(f"duplicate qreg {name!r}", line)
+        self.qregs[name] = (self.num_qubits, size)
+        self.num_qubits += size
+
+    def _declare_creg(self, stmt: str, line: int) -> None:
+        match = self._DECL_RE.match(stmt)
+        if not match:
+            raise QasmError(f"malformed creg declaration {stmt!r}", line)
+        self.cregs[match.group(2)] = int(match.group(3))
+
+    # -- macros --------------------------------------------------------------
+    def _parse_macro(self, statements: List[Tuple[str, int]], start: int) -> int:
+        header, line = statements[start]
+        match = _STMT_RE.match(header[len("gate") :].strip())
+        if not match:
+            raise QasmError(f"malformed gate definition {header!r}", line)
+        name = match.group("name")
+        params = (
+            [p.strip() for p in match.group("params").split(",") if p.strip()]
+            if match.group("params")
+            else []
+        )
+        qubit_names = [q.strip() for q in match.group("args").split(",") if q.strip()]
+        index = start + 1
+        if index >= len(statements) or statements[index][0] != "{":
+            raise QasmError(f"gate {name!r} definition missing body", line)
+        index += 1
+        body: List[Tuple[str, int]] = []
+        while index < len(statements) and statements[index][0] != "}":
+            body.append(statements[index])
+            index += 1
+        if index >= len(statements):
+            raise QasmError(f"gate {name!r} body is not closed", line)
+        self.macros[name] = _GateMacro(name, params, qubit_names, body)
+        return index + 1
+
+    # -- applications ----------------------------------------------------
+    def _resolve_qubits(
+        self, args: str, line: int, qubit_env: Optional[Dict[str, int]]
+    ) -> List[List[int]]:
+        """Resolve operand list to per-operand qubit index lists.
+
+        Whole-register operands keep their full extent so the caller can
+        broadcast.  Inside a macro body (``qubit_env`` given) operands are
+        formal names bound to single qubits.
+        """
+        operands = []
+        for arg in _split_args(args, line):
+            if qubit_env is not None:
+                if arg not in qubit_env:
+                    raise QasmError(f"unknown macro qubit {arg!r}", line)
+                operands.append([qubit_env[arg]])
+                continue
+            match = _REG_REF_RE.match(arg)
+            if not match:
+                raise QasmError(f"malformed operand {arg!r}", line)
+            reg = match.group("reg")
+            if reg not in self.qregs:
+                raise QasmError(f"unknown quantum register {reg!r}", line)
+            offset, size = self.qregs[reg]
+            if match.group("idx") is not None:
+                idx = int(match.group("idx"))
+                if idx >= size:
+                    raise QasmError(
+                        f"index {idx} out of range for qreg {reg}[{size}]", line
+                    )
+                operands.append([offset + idx])
+            else:
+                operands.append([offset + i for i in range(size)])
+        return operands
+
+    def _apply_statement(
+        self,
+        stmt: str,
+        line: int,
+        env: Dict[str, float],
+        qubit_env: Optional[Dict[str, int]],
+    ) -> None:
+        if stmt.startswith("measure"):
+            self._apply_measure(stmt, line, qubit_env)
+            return
+        match = _STMT_RE.match(stmt)
+        if not match:
+            raise QasmError(f"malformed statement {stmt!r}", line)
+        name = match.group("name")
+        raw_params = match.group("params")
+        params = (
+            [_eval_expr(p, env, line) for p in _split_args(raw_params, line)]
+            if raw_params
+            else []
+        )
+        operands = self._resolve_qubits(match.group("args"), line, qubit_env)
+        if name == "barrier":
+            qubits = [q for operand in operands for q in operand]
+            self.gates.append(Gate("barrier", tuple(qubits)))
+            return
+        for qubit_tuple in _broadcast(operands, line):
+            self._emit(name, params, qubit_tuple, line)
+
+    def _apply_measure(
+        self, stmt: str, line: int, qubit_env: Optional[Dict[str, int]]
+    ) -> None:
+        if qubit_env is not None:
+            raise QasmError("measure not allowed inside gate body", line)
+        body = stmt[len("measure") :].strip()
+        parts = body.split("->")
+        if len(parts) != 2:
+            raise QasmError(f"malformed measure {stmt!r}", line)
+        operands = self._resolve_qubits(parts[0].strip(), line, None)
+        for q in operands[0]:
+            self.gates.append(Gate("measure", (q,)))
+
+    def _emit(
+        self, name: str, params: List[float], qubits: Tuple[int, ...], line: int
+    ) -> None:
+        canonical, implicit = resolve_alias(name)
+        if canonical in STANDARD_GATES:
+            definition = gate_definition(canonical)
+            all_params = tuple(implicit) + tuple(params)
+            if definition.num_params != len(all_params):
+                raise QasmError(
+                    f"gate {name!r} expects {definition.num_params} params, "
+                    f"got {len(params)}",
+                    line,
+                )
+            try:
+                self.gates.append(Gate(canonical, qubits, all_params))
+            except ValueError as exc:
+                raise QasmError(str(exc), line) from None
+            return
+        if name in self.macros:
+            self._expand_macro(self.macros[name], params, qubits, line)
+            return
+        raise QasmError(f"unknown gate {name!r}", line)
+
+    def _expand_macro(
+        self,
+        macro: _GateMacro,
+        params: List[float],
+        qubits: Tuple[int, ...],
+        line: int,
+    ) -> None:
+        if len(params) != len(macro.params):
+            raise QasmError(
+                f"macro {macro.name!r} expects {len(macro.params)} params", line
+            )
+        if len(qubits) != len(macro.qubits):
+            raise QasmError(
+                f"macro {macro.name!r} expects {len(macro.qubits)} qubits", line
+            )
+        env = dict(zip(macro.params, params))
+        qubit_env = dict(zip(macro.qubits, qubits))
+        for stmt, body_line in macro.body:
+            self._apply_statement(stmt, body_line, env, qubit_env)
+
+
+def _broadcast(operands: List[List[int]], line: int) -> List[Tuple[int, ...]]:
+    """OpenQASM register broadcasting.
+
+    All multi-qubit operands must have equal length; single-qubit operands
+    are repeated.  ``h q;`` on a 3-qubit register yields three single-qubit
+    applications; ``cx q, r;`` zips the registers.
+    """
+    lengths = {len(op) for op in operands if len(op) > 1}
+    if len(lengths) > 1:
+        raise QasmError("mismatched register lengths in broadcast", line)
+    width = lengths.pop() if lengths else 1
+    result = []
+    for i in range(width):
+        result.append(tuple(op[i] if len(op) > 1 else op[0] for op in operands))
+    return result
+
+
+def parse_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 source into a :class:`Circuit`."""
+    return _QasmParser(text).parse()
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+_EMIT_NAMES = {"i": "id", "p": "u1", "cp": "cu1", "reset": "reset"}
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter, folding exact multiples of pi/16 to 'pi' syntax."""
+    for denom in (1, 2, 3, 4, 8, 16):
+        ratio = value * denom / math.pi
+        nearest = round(ratio)
+        if nearest != 0 and abs(ratio - nearest) < 1e-12:
+            sign = "-" if nearest < 0 else ""
+            mag = abs(nearest)
+            num = "pi" if mag == 1 else f"{mag}*pi"
+            return f"{sign}{num}" if denom == 1 else f"{sign}{num}/{denom}"
+    return repr(value)
+
+
+def to_qasm(circuit: Circuit, qreg: str = "q", creg: str = "c") -> str:
+    """Serialise a circuit to OpenQASM 2.0.
+
+    Measurements are emitted as ``measure q[i] -> c[i]``.  The output
+    round-trips through :func:`parse_qasm`.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {qreg}[{circuit.num_qubits}];",
+    ]
+    if any(g.name == "measure" for g in circuit):
+        lines.append(f"creg {creg}[{circuit.num_qubits}];")
+    for gate in circuit:
+        operands = ", ".join(f"{qreg}[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            q = gate.qubits[0]
+            lines.append(f"measure {qreg}[{q}] -> {creg}[{q}];")
+            continue
+        name = _EMIT_NAMES.get(gate.name, gate.name)
+        if gate.params:
+            rendered = ", ".join(_format_param(p) for p in gate.params)
+            lines.append(f"{name}({rendered}) {operands};")
+        else:
+            lines.append(f"{name} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,287 @@
+"""Command-line interface.
+
+Four subcommands mirror the library's main workflows::
+
+    repro profile  <circuit.qasm> [...]     # Table I profiling
+    repro map      <circuit.qasm> --device surface17 --mapper sabre
+    repro suite    <directory> --num 20     # generate a QASM benchmark corpus
+    repro reproduce [--full]                # regenerate the paper's figures
+
+Every subcommand is also reachable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .circuit import Circuit, draw as draw_circuit, parse_qasm
+from .compiler import noise_aware_mapper, sabre_mapper, trivial_mapper
+from .core import MapperAdvisor, profile_circuit, routing_difficulty
+from .hardware import (
+    Device,
+    grid_device,
+    line_device,
+    surface17_device,
+    surface17_extended_device,
+    surface7_device,
+)
+
+__all__ = ["main", "build_parser"]
+
+_MAPPERS = {
+    "trivial": trivial_mapper,
+    "sabre": sabre_mapper,
+    "noise-aware": noise_aware_mapper,
+}
+
+
+def _resolve_device(spec: str) -> Device:
+    """Parse a device spec: named chips or ``line:N`` / ``grid:RxC``."""
+    named = {
+        "surface7": surface7_device,
+        "surface17": surface17_device,
+        "surface100": lambda: surface17_extended_device(100),
+    }
+    if spec in named:
+        return named[spec]()
+    if spec.startswith("line:"):
+        return line_device(int(spec.split(":", 1)[1]))
+    if spec.startswith("grid:"):
+        rows, cols = spec.split(":", 1)[1].lower().split("x")
+        return grid_device(int(rows), int(cols))
+    if spec.startswith("surface:"):
+        return surface17_extended_device(int(spec.split(":", 1)[1]))
+    raise SystemExit(
+        f"unknown device {spec!r} (use surface7|surface17|surface100|"
+        "surface:N|line:N|grid:RxC)"
+    )
+
+
+def _load_circuit(path: str) -> Circuit:
+    source = Path(path)
+    if not source.is_file():
+        raise SystemExit(f"no such file: {path}")
+    circuit = parse_qasm(source.read_text())
+    circuit.name = source.stem
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    header = (
+        f"{'circuit':24s} {'qubits':>6s} {'gates':>7s} {'2q %':>6s} "
+        f"{'path':>6s} {'maxdeg':>6s} {'mindeg':>6s} {'adjstd':>7s} "
+        f"{'difficulty':>10s}"
+    )
+    print(header)
+    for path in args.circuits:
+        profile = profile_circuit(_load_circuit(path))
+        metrics = profile.metrics
+        print(
+            f"{profile.name[:24]:24s} {profile.size.num_qubits:6d} "
+            f"{profile.size.num_gates:7d} "
+            f"{profile.size.two_qubit_percentage:6.1f} "
+            f"{metrics.avg_shortest_path:6.2f} {metrics.max_degree:6.0f} "
+            f"{metrics.min_degree:6.0f} {metrics.adjacency_std:7.2f} "
+            f"{routing_difficulty(metrics):10.2f}"
+        )
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    device = _resolve_device(args.device)
+    if args.mapper == "advisor":
+        advisor = MapperAdvisor()
+        decision = advisor.decide(circuit)
+        print(
+            f"advisor: difficulty {decision.difficulty:.2f} -> "
+            f"{decision.mapper_name}"
+        )
+        result = advisor.map(circuit, device)
+    else:
+        result = _MAPPERS[args.mapper]().map(circuit, device)
+    print(f"device:        {device.name} ({device.num_qubits} qubits)")
+    print(f"mapper:        {result.mapper_name}")
+    print(
+        f"gates:         {result.overhead.gates_before} -> "
+        f"{result.overhead.gates_after} "
+        f"(+{result.overhead.gate_overhead_percent:.1f}%)"
+    )
+    print(f"swaps:         {result.swap_count}")
+    print(
+        f"depth:         {result.overhead.depth_before} -> "
+        f"{result.overhead.depth_after}"
+    )
+    print(
+        f"fidelity:      {result.fidelity.fidelity_before:.4f} -> "
+        f"{result.fidelity.fidelity_after:.4f}"
+    )
+    print(f"latency:       {result.latency_ns:.0f} ns")
+    print(f"initial layout: {result.initial_layout}")
+    print(f"final layout:   {result.final_layout}")
+    if args.verify:
+        try:
+            print(f"verified:      {result.verify()}")
+        except ValueError as exc:
+            print(f"verified:      skipped ({exc})")
+    if args.draw:
+        print()
+        print(draw_circuit(result.mapped, max_width=100))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from .workloads import evaluation_suite, save_suite
+
+    suite = evaluation_suite(
+        num_circuits=args.num,
+        seed=args.seed,
+        max_qubits=args.max_qubits,
+        max_gates=args.max_gates,
+    )
+    paths = save_suite(suite, args.directory)
+    print(f"wrote {len(paths)} circuits + manifest to {args.directory}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import generate_report, records_to_csv, run_suite
+    from .workloads import load_suite
+
+    suite = load_suite(args.corpus)
+    device = _resolve_device(args.device)
+    mapper = _MAPPERS[args.mapper]()
+    print(
+        f"mapping {len(suite)} circuits from {args.corpus} "
+        f"onto {device.name} with {args.mapper} ...",
+        file=sys.stderr,
+    )
+    records = run_suite(suite, device=device, mapper=mapper)
+    report = generate_report(
+        records,
+        title=f"Mapping report: {Path(args.corpus).name}",
+        device_name=device.name,
+        mapper_name=args.mapper,
+    )
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    if args.csv:
+        records_to_csv(records, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _reproduce(args: argparse.Namespace) -> int:
+    from .experiments import (
+        fig3_data,
+        fig5_data,
+        format_fig3,
+        format_fig4,
+        format_fig5,
+        format_table1,
+        run_fig4,
+        run_suite,
+        run_table1,
+    )
+    from .workloads import evaluation_suite
+
+    if args.full:
+        suite = evaluation_suite(num_circuits=200, seed=2022, max_gates=20000)
+    else:
+        suite = evaluation_suite(
+            num_circuits=60, seed=2022, max_qubits=30, max_gates=2000
+        )
+    print(f"mapping {len(suite)} benchmarks ...", file=sys.stderr)
+    records = run_suite(suite)
+    print(format_fig3(fig3_data(records)))
+    print(format_fig4(run_fig4()))
+    print(format_fig5(fig5_data(records)))
+    print(format_table1(run_table1(records)))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Full-stack NISQ compilation: profile, map and "
+        "reproduce the DATE'22 evaluation.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    profile = commands.add_parser(
+        "profile", help="interaction-graph profiling of QASM circuits"
+    )
+    profile.add_argument("circuits", nargs="+", help="OpenQASM 2.0 files")
+    profile.set_defaults(handler=_cmd_profile)
+
+    mapping = commands.add_parser("map", help="map a QASM circuit onto a device")
+    mapping.add_argument("circuit", help="OpenQASM 2.0 file")
+    mapping.add_argument(
+        "--device",
+        default="surface17",
+        help="surface7|surface17|surface100|surface:N|line:N|grid:RxC",
+    )
+    mapping.add_argument(
+        "--mapper",
+        default="sabre",
+        choices=sorted(_MAPPERS) + ["advisor"],
+    )
+    mapping.add_argument(
+        "--draw", action="store_true", help="print the mapped circuit"
+    )
+    mapping.add_argument(
+        "--verify",
+        action="store_true",
+        help="check semantics against the state-vector oracle (small circuits)",
+    )
+    mapping.set_defaults(handler=_cmd_map)
+
+    suite = commands.add_parser(
+        "suite", help="generate a QASM benchmark corpus"
+    )
+    suite.add_argument("directory")
+    suite.add_argument("--num", type=int, default=20)
+    suite.add_argument("--seed", type=int, default=2022)
+    suite.add_argument("--max-qubits", type=int, default=20)
+    suite.add_argument("--max-gates", type=int, default=500)
+    suite.set_defaults(handler=_cmd_suite)
+
+    report = commands.add_parser(
+        "report", help="map a QASM corpus and write a markdown report"
+    )
+    report.add_argument("corpus", help="directory written by 'repro suite'")
+    report.add_argument("--device", default="surface100")
+    report.add_argument("--mapper", default="trivial", choices=sorted(_MAPPERS))
+    report.add_argument("-o", "--output", help="markdown output path")
+    report.add_argument("--csv", help="also dump per-circuit records as CSV")
+    report.set_defaults(handler=_cmd_report)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the paper's figures and table"
+    )
+    reproduce.add_argument("--full", action="store_true")
+    reproduce.set_defaults(handler=_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Exact (minimum-SWAP) routing via A* search over layout states.
+
+The mapping-approach survey in Sec. III includes exact/optimal methods
+(e.g. Tan & Cong's optimal mapping).  This module implements one for
+small instances: an A* search over (layout, progress) states whose cost
+is the number of SWAPs inserted, with an admissible distance-based
+heuristic.  It is exponential in general — intended for optimality
+*baselines* (how far are the heuristics from optimal?), not production
+routing; the ``bench_ablation_optimality`` bench uses it that way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate
+from ..hardware.device import Device
+from .layout import Layout
+from .routing import Router, RoutingError, RoutingResult
+
+__all__ = ["ExactRouter", "optimal_swap_count"]
+
+
+class ExactRouter(Router):
+    """Optimal-SWAP router for small circuits (A* over layout space).
+
+    The search state is ``(layout, next_gate_index)``; from each state,
+    executable gates are applied greedily (they cost nothing) and each
+    coupling-graph edge spawns one SWAP successor.  The heuristic is the
+    sum over remaining two-qubit gates' ``(distance - 1)`` lower bounds,
+    divided by the maximum distance improvement one SWAP can make (3,
+    since a SWAP changes each endpoint's distances by at most 1 for up
+    to... conservatively bounded), which keeps it admissible.
+
+    Parameters
+    ----------
+    max_states:
+        Search-node budget; :class:`RoutingError` is raised when
+        exceeded (the instance is too big — use a heuristic router).
+    """
+
+    name = "exact"
+
+    def __init__(self, max_states: int = 200_000) -> None:
+        if max_states < 1:
+            raise ValueError("max_states must be positive")
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def route(
+        self, circuit: Circuit, device: Device, layout: Layout
+    ) -> RoutingResult:
+        self._validate(circuit, device, layout)
+        coupling = device.coupling
+        dist = coupling.distance_matrix()
+        gates = list(circuit)
+        two_qubit_indices = [i for i, g in enumerate(gates) if g.is_two_qubit]
+
+        initial = layout.copy()
+        initial_key = tuple(initial._v2p)
+
+        def advance(v2p: Tuple[int, ...], pointer: int) -> int:
+            """Skip past every immediately-executable gate."""
+            while pointer < len(gates):
+                gate = gates[pointer]
+                if gate.is_two_qubit:
+                    a, b = gate.qubits
+                    if dist[v2p[a], v2p[b]] != 1:
+                        break
+                pointer += 1
+            return pointer
+
+        def heuristic(v2p: Tuple[int, ...], pointer: int) -> float:
+            remaining = 0
+            for index in two_qubit_indices:
+                if index < pointer:
+                    continue
+                a, b = gates[index].qubits
+                remaining = max(remaining, int(dist[v2p[a], v2p[b]]) - 1)
+            # max over gates of (dist-1) is admissible: each SWAP reduces
+            # any single pair's distance by at most 1.
+            return float(remaining)
+
+        start_pointer = advance(initial_key, 0)
+        # Priority queue of (f, tie, g=swaps, v2p, pointer, path).
+        counter = itertools.count()
+        heap = [
+            (
+                heuristic(initial_key, start_pointer),
+                next(counter),
+                0,
+                initial_key,
+                start_pointer,
+                (),
+            )
+        ]
+        best: Dict[Tuple[Tuple[int, ...], int], int] = {
+            (initial_key, start_pointer): 0
+        }
+        explored = 0
+        while heap:
+            f, _, swaps, v2p, pointer, path = heapq.heappop(heap)
+            if best.get((v2p, pointer), -1) < swaps:
+                continue
+            if pointer >= len(gates):
+                return self._emit(gates, layout, path, device)
+            explored += 1
+            if explored > self.max_states:
+                raise RoutingError(
+                    f"exact routing exceeded {self.max_states} states; "
+                    "instance too large"
+                )
+            for a, b in coupling.edges:
+                new_v2p = list(v2p)
+                for virtual, physical in enumerate(v2p):
+                    if physical == a:
+                        new_v2p[virtual] = b
+                    elif physical == b:
+                        new_v2p[virtual] = a
+                candidate = tuple(new_v2p)
+                new_pointer = advance(candidate, pointer)
+                key = (candidate, new_pointer)
+                cost = swaps + 1
+                if best.get(key, cost + 1) <= cost:
+                    continue
+                best[key] = cost
+                heapq.heappush(
+                    heap,
+                    (
+                        cost + heuristic(candidate, new_pointer),
+                        next(counter),
+                        cost,
+                        candidate,
+                        new_pointer,
+                        path + ((a, b),),
+                    ),
+                )
+        raise RoutingError("exact routing search exhausted without a solution")
+
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        gates: Sequence[Gate],
+        initial: Layout,
+        swap_path: Tuple[Tuple[int, int], ...],
+        device: Device,
+    ) -> RoutingResult:
+        """Replay the solution path into an output circuit.
+
+        The A* path records *when* (relative to gate progress) each SWAP
+        happens implicitly; replaying greedily — apply gates while
+        executable, else take the next SWAP from the path — reconstructs
+        a valid interleaving with the same SWAP count.
+        """
+        coupling = device.coupling
+        layout = initial.copy()
+        out = Circuit(device.num_qubits)
+        swap_iter = iter(swap_path)
+        pointer = 0
+        swap_count = 0
+        while pointer < len(gates):
+            gate = gates[pointer]
+            if not gate.is_two_qubit:
+                out.append(self._remap(gate, layout))
+                pointer += 1
+                continue
+            pa = layout.physical(gate.qubits[0])
+            pb = layout.physical(gate.qubits[1])
+            if coupling.are_adjacent(pa, pb):
+                out.append(Gate(gate.name, (pa, pb), gate.params))
+                pointer += 1
+                continue
+            try:
+                a, b = next(swap_iter)
+            except StopIteration:  # pragma: no cover - defensive
+                raise RoutingError("exact route replay ran out of swaps")
+            out.append(Gate("swap", (a, b)))
+            layout.swap_physical(a, b)
+            swap_count += 1
+        # Trailing SWAPs (possible if the search appended extras) are
+        # unnecessary by construction: the path length equals swap_count.
+        return RoutingResult(out, initial.as_dict(), layout.as_dict(), swap_count)
+
+
+def optimal_swap_count(
+    circuit: Circuit,
+    device: Device,
+    layout: Optional[Layout] = None,
+    max_states: int = 200_000,
+) -> int:
+    """Minimum number of SWAPs needed to route ``circuit`` from ``layout``.
+
+    Convenience wrapper around :class:`ExactRouter`.
+    """
+    if layout is None:
+        layout = Layout.trivial(circuit.num_qubits, device.num_qubits)
+    result = ExactRouter(max_states=max_states).route(circuit, device, layout)
+    return result.swap_count

@@ -1,0 +1,182 @@
+"""Circuit optimisation passes.
+
+The paper notes the compiler "can leverage its knowledge about the
+application to perform some general (e.g. gate cancellation) ...
+optimization on the quantum circuit".  This module provides the standard
+peephole repertoire: cancellation of adjacent inverse pairs, merging of
+consecutive same-axis rotations, removal of identity/zero-angle gates —
+iterated to a fixpoint.  All passes preserve the unitary exactly (up to
+global phase) and are validated against the simulator in the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate, gate_definition, gate_inverse, gates_commute
+
+__all__ = [
+    "remove_trivial_gates",
+    "cancel_inverse_pairs",
+    "merge_rotations",
+    "optimize_circuit",
+]
+
+_TWO_PI = 2.0 * math.pi
+_ROTATIONS = {"rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crx", "cry", "crz"}
+
+
+_CONTROLLED_ROTATIONS = {"crx", "cry", "crz"}
+
+
+def _is_trivial(gate: Gate) -> bool:
+    if gate.name == "i":
+        return True
+    if gate.name in _CONTROLLED_ROTATIONS:
+        # A controlled rotation by 2*pi applies controlled-(-I), i.e. a Z
+        # phase on the control — observable, so only 4*pi-periodic angles
+        # are trivial.
+        angle = math.remainder(gate.params[0], 2.0 * _TWO_PI)
+        return abs(angle) < 1e-12
+    if gate.name in _ROTATIONS:
+        angle = math.remainder(gate.params[0], _TWO_PI)
+        return abs(angle) < 1e-12
+    return False
+
+
+def remove_trivial_gates(circuit: Circuit) -> Circuit:
+    """Drop identity gates and rotations by multiples of ``2*pi``.
+
+    Rotations by exactly ``2*pi`` equal ``-I``; the global phase is not
+    observable, so they are removed too.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit:
+        if not _is_trivial(gate):
+            out.append(gate)
+    return out
+
+
+def _inverse_pair(a: Gate, b: Gate) -> bool:
+    """True when ``b`` exactly undoes ``a`` (same qubits, adjoint op)."""
+    if a.qubits != b.qubits:
+        # SWAP/CZ-likes are symmetric in their operands.
+        definition = gate_definition(a.name)
+        symmetric = a.name in ("swap", "cz", "iswap", "iswapdg", "rzz", "rxx", "ryy", "ccz")
+        if not (symmetric and set(a.qubits) == set(b.qubits)):
+            return False
+    if a.is_directive or b.is_directive:
+        return False
+    try:
+        inverse = gate_inverse(a)
+    except ValueError:
+        return False
+    return inverse.name == b.name and inverse.params == b.params
+
+
+def cancel_inverse_pairs(circuit: Circuit, commute_through: bool = True) -> Circuit:
+    """Cancel gate pairs ``G, G^{-1}`` that meet on the same qubits.
+
+    With ``commute_through`` enabled, a gate may cancel against a later
+    inverse even when gates acting on *other* qubits — or gates known to
+    commute with it — sit in between (e.g. the ``rz`` on the control
+    between two CNOTs).
+
+    The pass works greedily left to right with a pending-gate list and is
+    run to a fixpoint by :func:`optimize_circuit`.
+    """
+    pending: List[Optional[Gate]] = []
+    for gate in circuit:
+        if gate.is_directive:
+            pending.append(gate)
+            continue
+        cancelled = False
+        for index in range(len(pending) - 1, -1, -1):
+            earlier = pending[index]
+            if earlier is None:
+                continue
+            if _inverse_pair(earlier, gate):
+                pending[index] = None
+                cancelled = True
+                break
+            if earlier.is_directive and earlier.overlaps(gate):
+                break
+            blocking = earlier.overlaps(gate)
+            if blocking:
+                if commute_through and gates_commute(
+                    earlier, gate, numeric_fallback=False
+                ):
+                    continue
+                break
+        if not cancelled:
+            pending.append(gate)
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in pending:
+        if gate is not None:
+            out.append(gate)
+    return out
+
+
+_MERGE_AXES = {"rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crz", "crx", "cry"}
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fuse consecutive same-kind rotations on the same qubits.
+
+    ``rz(a) rz(b) -> rz(a+b)`` and likewise for every parameterised
+    rotation kind; merged rotations that become trivial are dropped.
+    Gates on disjoint qubits in between do not block the fusion.
+    """
+    pending: List[Optional[Gate]] = []
+    for gate in circuit:
+        merged = False
+        if gate.name in _MERGE_AXES:
+            for index in range(len(pending) - 1, -1, -1):
+                earlier = pending[index]
+                if earlier is None:
+                    continue
+                if (
+                    earlier.name == gate.name
+                    and earlier.qubits == gate.qubits
+                ):
+                    combined = Gate(
+                        gate.name,
+                        gate.qubits,
+                        (earlier.params[0] + gate.params[0],),
+                    )
+                    pending[index] = None if _is_trivial(combined) else combined
+                    merged = True
+                    break
+                if earlier.overlaps(gate):
+                    break
+        if not merged:
+            pending.append(gate)
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in pending:
+        if gate is not None:
+            out.append(gate)
+    return out
+
+
+def optimize_circuit(
+    circuit: Circuit,
+    max_iterations: int = 20,
+    commute_through: bool = True,
+) -> Circuit:
+    """Run all peephole passes to a fixpoint.
+
+    Iterates (trivial-gate removal, rotation merging, inverse-pair
+    cancellation) until the gate list stops changing or
+    ``max_iterations`` is reached.
+    """
+    current = circuit
+    for _ in range(max_iterations):
+        before = current.gates
+        current = remove_trivial_gates(current)
+        current = merge_rotations(current)
+        current = cancel_inverse_pairs(current, commute_through=commute_through)
+        if current.gates == before:
+            break
+    return current

@@ -1,0 +1,165 @@
+"""Instrumented pass pipelines.
+
+A :class:`PassManager` runs a sequence of named circuit transformations
+and records, per stage, the wall time and the circuit's size evolution —
+the transcript a compiler engineer reads when a pipeline misbehaves.
+The stock :class:`~repro.compiler.mapper.QuantumMapper` covers the
+standard flow; the pass manager is the extension surface for custom
+flows (extra optimisation rounds, debug dumps between stages, pass
+reordering experiments).
+
+A *pass* here is any callable ``Circuit -> Circuit``; the helpers wrap
+the library's existing passes into that shape.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit
+
+__all__ = ["PassRecord", "PassTranscript", "PassManager"]
+
+CircuitPass = Callable[[Circuit], Circuit]
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One stage's effect.
+
+    Attributes
+    ----------
+    name:
+        Stage label.
+    gates_before / gates_after / depth_before / depth_after:
+        Size evolution across the stage.
+    seconds:
+        Wall-clock time of the stage.
+    """
+
+    name: str
+    gates_before: int
+    gates_after: int
+    depth_before: int
+    depth_after: int
+    seconds: float
+
+    @property
+    def gate_delta(self) -> int:
+        return self.gates_after - self.gates_before
+
+
+@dataclass
+class PassTranscript:
+    """The full run record: every stage plus the final circuit."""
+
+    records: List[PassRecord]
+    circuit: Circuit
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def stage(self, name: str) -> PassRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(f"no pass named {name!r} in transcript")
+
+    def format(self) -> str:
+        """Aligned text table of the transcript."""
+        lines = [
+            f"{'pass':24s} {'gates':>12s} {'depth':>12s} {'time':>9s}"
+        ]
+        for record in self.records:
+            lines.append(
+                f"{record.name:24s} "
+                f"{record.gates_before:5d}->{record.gates_after:<5d} "
+                f"{record.depth_before:5d}->{record.depth_after:<5d} "
+                f"{record.seconds * 1000:7.2f}ms"
+            )
+        lines.append(f"total: {self.total_seconds * 1000:.2f} ms")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Compose, run and instrument a sequence of circuit passes.
+
+    Parameters
+    ----------
+    passes:
+        Optional initial ``(name, pass)`` pairs; more can be appended
+        with :meth:`append` (which supports chaining).
+    validate:
+        When true, every stage's output is checked for unitary
+        equivalence with its input on circuits small enough to simulate
+        — a development safety net, off by default for speed.
+    """
+
+    def __init__(
+        self,
+        passes: Optional[Sequence[Tuple[str, CircuitPass]]] = None,
+        validate: bool = False,
+    ) -> None:
+        self._passes: List[Tuple[str, CircuitPass]] = list(passes or [])
+        self.validate = validate
+
+    def append(self, name: str, circuit_pass: CircuitPass) -> "PassManager":
+        """Add a stage; returns ``self`` for chaining."""
+        if not callable(circuit_pass):
+            raise TypeError(f"pass {name!r} is not callable")
+        self._passes.append((name, circuit_pass))
+        return self
+
+    @property
+    def pass_names(self) -> List[str]:
+        return [name for name, _ in self._passes]
+
+    def __len__(self) -> int:
+        return len(self._passes)
+
+    # ------------------------------------------------------------------
+    def run(self, circuit: Circuit) -> PassTranscript:
+        """Run every stage in order; returns the instrumented transcript."""
+        records: List[PassRecord] = []
+        current = circuit
+        for name, circuit_pass in self._passes:
+            gates_before = current.num_gates
+            depth_before = current.depth()
+            started = time.perf_counter()
+            produced = circuit_pass(current)
+            elapsed = time.perf_counter() - started
+            if not isinstance(produced, Circuit):
+                raise TypeError(
+                    f"pass {name!r} returned {type(produced).__name__}, "
+                    "expected Circuit"
+                )
+            if self.validate:
+                self._validate_stage(name, current, produced)
+            records.append(
+                PassRecord(
+                    name=name,
+                    gates_before=gates_before,
+                    gates_after=produced.num_gates,
+                    depth_before=depth_before,
+                    depth_after=produced.depth(),
+                    seconds=elapsed,
+                )
+            )
+            current = produced
+        return PassTranscript(records, current)
+
+    @staticmethod
+    def _validate_stage(name: str, before: Circuit, after: Circuit) -> None:
+        if before.num_qubits != after.num_qubits:
+            return  # layout-changing passes are out of scope for the check
+        if before.num_qubits > 8:
+            return
+        from ..sim.equivalence import circuits_equivalent
+
+        if not circuits_equivalent(before, after):
+            raise RuntimeError(
+                f"pass {name!r} changed the circuit's unitary"
+            )

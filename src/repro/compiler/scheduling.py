@@ -1,0 +1,230 @@
+"""Scheduling passes: assigning start times to gates.
+
+Step 2 of the paper's mapping process: "Scheduling quantum operations to
+leverage parallelism and therefore shorten execution time."  The ASAP and
+ALAP list schedulers respect qubit exclusivity and per-gate durations from
+the device calibration; optional *classical-control constraints* model the
+shared control electronics the paper mentions (a cap on simultaneously
+executing two-qubit gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate
+from ..hardware.calibration import Calibration, SURFACE17_CALIBRATION
+
+__all__ = ["ScheduledGate", "Schedule", "asap_schedule", "alap_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledGate:
+    """A gate with its start time (ns) and duration (ns)."""
+
+    gate: Gate
+    start_ns: float
+    duration_ns: float
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+@dataclass
+class Schedule:
+    """A timed realisation of a circuit.
+
+    Attributes
+    ----------
+    entries:
+        Scheduled gates ordered by start time (stable on ties).
+    circuit:
+        The source circuit.
+    """
+
+    entries: List[ScheduledGate]
+    circuit: Circuit
+
+    @property
+    def latency_ns(self) -> float:
+        """Total execution time: the last gate's end time."""
+        return max((e.end_ns for e in self.entries), default=0.0)
+
+    @property
+    def num_time_slots(self) -> int:
+        """Number of distinct start times (the paper's 'time-stamps')."""
+        return len({e.start_ns for e in self.entries})
+
+    def parallelism(self) -> float:
+        """Average number of gates executing concurrently.
+
+        Computed as total busy gate-time divided by latency; 1.0 means
+        fully sequential.
+        """
+        latency = self.latency_ns
+        if latency == 0:
+            return 0.0
+        busy = sum(e.duration_ns for e in self.entries)
+        return busy / latency
+
+    def gates_at(self, time_ns: float) -> List[ScheduledGate]:
+        """Gates executing at ``time_ns`` (inclusive start, exclusive end)."""
+        return [
+            e
+            for e in self.entries
+            if e.start_ns <= time_ns < e.end_ns
+            or (e.duration_ns == 0 and e.start_ns == time_ns)
+        ]
+
+    def idle_time_ns(self, qubit: int) -> float:
+        """Time ``qubit`` spends idle between its first and last operation.
+
+        This is the decoherence-exposure window the fidelity model's
+        decoherence term integrates over.
+        """
+        spans = [
+            (e.start_ns, e.end_ns) for e in self.entries if qubit in e.gate.qubits
+        ]
+        if not spans:
+            return 0.0
+        start = min(s for s, _ in spans)
+        end = max(e for _, e in spans)
+        busy = sum(e - s for s, e in spans)
+        return (end - start) - busy
+
+
+def _check_constraints(max_parallel_2q: Optional[int]) -> None:
+    if max_parallel_2q is not None and max_parallel_2q < 1:
+        raise ValueError("max_parallel_2q must be at least 1")
+
+
+def asap_schedule(
+    circuit: Circuit,
+    calibration: Calibration = SURFACE17_CALIBRATION,
+    max_parallel_2q: Optional[int] = None,
+    coupling=None,
+    crosstalk_free: bool = False,
+) -> Schedule:
+    """As-soon-as-possible list schedule.
+
+    Each gate starts when all its qubits are free.  Two optional hardware
+    constraints defer two-qubit gates further:
+
+    * ``max_parallel_2q`` — at most that many two-qubit gates overlap at
+      any instant (the shared-control-electronics constraint of Sec. III);
+    * ``crosstalk_free`` (requires ``coupling``) — no two concurrent
+      two-qubit gates on *adjacent* edges of the coupling graph, the
+      software crosstalk mitigation of Murali et al. / Ding et al. that
+      the paper cites as a co-design example.  Trades latency for the
+      removal of the crosstalk fidelity penalty (see
+      :func:`repro.metrics.fidelity.crosstalk_overlaps`).
+    """
+    _check_constraints(max_parallel_2q)
+    if crosstalk_free and coupling is None:
+        raise ValueError("crosstalk_free scheduling needs the coupling graph")
+    qubit_free = [0.0] * circuit.num_qubits
+    # (start, end, qubits) of already-scheduled two-qubit gates.
+    running_2q: List[Tuple[float, float, Tuple[int, ...]]] = []
+    entries: List[ScheduledGate] = []
+    for gate in circuit:
+        duration = calibration.gate_duration_ns(gate)
+        start = max((qubit_free[q] for q in gate.qubits), default=0.0)
+        if gate.is_two_qubit and (max_parallel_2q is not None or crosstalk_free):
+            while True:
+                moved = start
+                if max_parallel_2q is not None:
+                    moved = _defer_for_control(
+                        moved,
+                        duration,
+                        [(s, e) for s, e, _ in running_2q],
+                        max_parallel_2q,
+                    )
+                if crosstalk_free:
+                    moved = _defer_for_crosstalk(
+                        moved, duration, gate.qubits, running_2q, coupling
+                    )
+                if moved == start:
+                    break
+                start = moved
+            running_2q.append((start, start + duration, gate.qubits))
+        entries.append(ScheduledGate(gate, start, duration))
+        for q in gate.qubits:
+            qubit_free[q] = start + duration
+    entries.sort(key=lambda e: e.start_ns)
+    return Schedule(entries, circuit)
+
+
+def _adjacent_pairs(qubits_a, qubits_b, coupling) -> bool:
+    """True when two (disjoint) gate supports touch on the chip."""
+    for a in qubits_a:
+        for b in qubits_b:
+            if coupling.are_adjacent(a, b):
+                return True
+    return False
+
+
+def _defer_for_crosstalk(
+    start: float,
+    duration: float,
+    qubits: Tuple[int, ...],
+    running: List[Tuple[float, float, Tuple[int, ...]]],
+    coupling,
+) -> float:
+    """Push ``start`` until no concurrent adjacent 2q gate overlaps it."""
+    while True:
+        conflicts = sorted(
+            end
+            for s, end, other in running
+            if s < start + duration
+            and end > start
+            and _adjacent_pairs(qubits, other, coupling)
+        )
+        if not conflicts:
+            return start
+        start = conflicts[0]
+
+
+def _defer_for_control(
+    start: float,
+    duration: float,
+    running: List[Tuple[float, float]],
+    limit: int,
+) -> float:
+    """Push ``start`` until fewer than ``limit`` 2q gates overlap it."""
+    while True:
+        overlapping = sorted(
+            end for s, end in running if s < start + duration and end > start
+        )
+        if len(overlapping) < limit:
+            return start
+        # Wait for the earliest overlapping gate to finish.
+        start = overlapping[0]
+
+
+def alap_schedule(
+    circuit: Circuit,
+    calibration: Calibration = SURFACE17_CALIBRATION,
+) -> Schedule:
+    """As-late-as-possible schedule (gates sink towards the end).
+
+    Computed by ASAP-scheduling the reversed gate list and mirroring the
+    time axis; latency equals the ASAP latency.
+    """
+    qubit_free = [0.0] * circuit.num_qubits
+    reversed_entries: List[Tuple[Gate, float, float]] = []
+    for gate in reversed(circuit.gates):
+        duration = calibration.gate_duration_ns(gate)
+        start = max((qubit_free[q] for q in gate.qubits), default=0.0)
+        reversed_entries.append((gate, start, duration))
+        for q in gate.qubits:
+            qubit_free[q] = start + duration
+    latency = max((s + d for _, s, d in reversed_entries), default=0.0)
+    entries = [
+        ScheduledGate(gate, latency - start - duration, duration)
+        for gate, start, duration in reversed_entries
+    ]
+    entries.sort(key=lambda e: e.start_ns)
+    return Schedule(entries, circuit)

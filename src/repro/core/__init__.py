@@ -1,0 +1,62 @@
+"""The paper's contribution: interaction-graph profiling and co-design."""
+
+from .interaction import InteractionGraph, interaction_graph
+from .metrics import (
+    GraphMetrics,
+    METRIC_NAMES,
+    PAPER_RETAINED_METRICS,
+    TABLE1_ROWS,
+    circuit_graph_metrics,
+    compute_metrics,
+)
+from .correlation import MetricReduction, pearson_matrix, reduce_metrics
+from .profiles import CircuitProfile, profile_circuit, profile_suite
+from .clustering import (
+    ClusteringResult,
+    cluster_profiles,
+    hierarchical_labels,
+    kmeans,
+    silhouette_score,
+    standardize_features,
+)
+from .codesign import (
+    AdvisorDecision,
+    MapperAdvisor,
+    routing_difficulty,
+    spearman_correlation,
+)
+from .temporal import TemporalProfile, temporal_profile, time_sliced_graphs
+from .device_design import TopologyReport, best_topology_for, explore_topologies
+
+__all__ = [
+    "InteractionGraph",
+    "interaction_graph",
+    "GraphMetrics",
+    "METRIC_NAMES",
+    "PAPER_RETAINED_METRICS",
+    "TABLE1_ROWS",
+    "circuit_graph_metrics",
+    "compute_metrics",
+    "MetricReduction",
+    "pearson_matrix",
+    "reduce_metrics",
+    "CircuitProfile",
+    "profile_circuit",
+    "profile_suite",
+    "ClusteringResult",
+    "cluster_profiles",
+    "hierarchical_labels",
+    "kmeans",
+    "silhouette_score",
+    "standardize_features",
+    "AdvisorDecision",
+    "MapperAdvisor",
+    "routing_difficulty",
+    "spearman_correlation",
+    "TemporalProfile",
+    "temporal_profile",
+    "time_sliced_graphs",
+    "TopologyReport",
+    "best_topology_for",
+    "explore_topologies",
+]

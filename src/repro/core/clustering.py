@@ -1,0 +1,197 @@
+"""Clustering of benchmark circuits in metric space (Sec. IV).
+
+"Using this new metrics and the common circuit parameters, algorithms can
+be clustered based on their similarities.  Ideally, quantum algorithms
+with similar properties are ought to show similar performance when run on
+specific chips using a given mapping strategy."
+
+K-means is implemented from scratch (k-means++ seeding, Lloyd
+iterations); hierarchical clustering delegates to scipy's linkage.  A
+silhouette score is provided to judge cluster quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import PAPER_RETAINED_METRICS
+from .profiles import CircuitProfile
+
+__all__ = [
+    "standardize_features",
+    "kmeans",
+    "hierarchical_labels",
+    "silhouette_score",
+    "ClusteringResult",
+    "cluster_profiles",
+]
+
+
+def standardize_features(features: np.ndarray) -> np.ndarray:
+    """Z-score each column; constant columns become zeros."""
+    features = np.asarray(features, dtype=float)
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    return (features - mean) / safe
+
+
+def _kmeans_pp_init(
+    features: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids far apart."""
+    n = len(features)
+    centroids = [features[int(rng.integers(n))]]
+    for _ in range(1, k):
+        distances = np.min(
+            [np.sum((features - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        total = distances.sum()
+        if total == 0:
+            centroids.append(features[int(rng.integers(n))])
+            continue
+        probabilities = distances / total
+        centroids.append(features[int(rng.choice(n, p=probabilities))])
+    return np.array(centroids)
+
+
+def kmeans(
+    features: np.ndarray,
+    k: int,
+    seed: Optional[int] = 0,
+    max_iterations: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Returns ``(labels, centroids)``.  Empty clusters are reseeded with the
+    point farthest from its centroid.
+    """
+    features = np.asarray(features, dtype=float)
+    n = len(features)
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} out of range for {n} points")
+    rng = np.random.default_rng(seed)
+    centroids = _kmeans_pp_init(features, k, rng)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        distances = np.array(
+            [np.sum((features - c) ** 2, axis=1) for c in centroids]
+        )
+        new_labels = distances.argmin(axis=0)
+        for cluster in range(k):
+            members = features[new_labels == cluster]
+            if len(members) == 0:
+                worst = int(distances.min(axis=0).argmax())
+                centroids[cluster] = features[worst]
+                new_labels[worst] = cluster
+            else:
+                centroids[cluster] = members.mean(axis=0)
+        if np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+    return labels, centroids
+
+
+def hierarchical_labels(
+    features: np.ndarray, k: int, method: str = "ward"
+) -> np.ndarray:
+    """Agglomerative clustering labels via scipy linkage."""
+    from scipy.cluster.hierarchy import fcluster, linkage
+
+    features = np.asarray(features, dtype=float)
+    if len(features) < 2:
+        return np.zeros(len(features), dtype=int)
+    tree = linkage(features, method=method)
+    return fcluster(tree, t=k, criterion="maxclust") - 1
+
+
+def silhouette_score(features: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient (cohesion vs separation, in [-1, 1])."""
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels)
+    clusters = np.unique(labels)
+    if len(clusters) < 2 or len(features) != len(labels):
+        return 0.0
+    # Pairwise distances (n is suite-sized; dense is fine).
+    diff = features[:, None, :] - features[None, :, :]
+    distances = np.sqrt((diff ** 2).sum(axis=2))
+    scores = []
+    for i in range(len(features)):
+        same = labels == labels[i]
+        same[i] = False
+        a = distances[i][same].mean() if same.any() else 0.0
+        b = min(
+            distances[i][labels == other].mean()
+            for other in clusters
+            if other != labels[i]
+        )
+        denominator = max(a, b)
+        scores.append(0.0 if denominator == 0 else (b - a) / denominator)
+    return float(np.mean(scores))
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Clustering of a profiled benchmark suite.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per profile (input order preserved).
+    feature_names:
+        The features the clustering ran on.
+    silhouette:
+        Quality score of the clustering.
+    """
+
+    profiles: List[CircuitProfile]
+    labels: np.ndarray
+    feature_names: List[str]
+    silhouette: float
+
+    def members(self, cluster: int) -> List[CircuitProfile]:
+        return [p for p, l in zip(self.profiles, self.labels) if l == cluster]
+
+    @property
+    def num_clusters(self) -> int:
+        return len(np.unique(self.labels))
+
+
+def cluster_profiles(
+    profiles: Sequence[CircuitProfile],
+    k: int = 3,
+    feature_names: Optional[Sequence[str]] = None,
+    method: str = "kmeans",
+    seed: Optional[int] = 0,
+) -> ClusteringResult:
+    """Cluster profiled circuits on (by default) the paper's retained
+    metrics plus the common size parameters.
+
+    ``method`` is ``"kmeans"`` (from-scratch Lloyd) or ``"hierarchical"``
+    (scipy ward linkage).
+    """
+    if feature_names is None:
+        feature_names = PAPER_RETAINED_METRICS + [
+            "num_gates",
+            "two_qubit_fraction",
+        ]
+    feature_names = list(feature_names)
+    features = standardize_features(
+        np.array([p.feature_vector(feature_names) for p in profiles])
+    )
+    if method == "kmeans":
+        labels, _ = kmeans(features, k, seed=seed)
+    elif method == "hierarchical":
+        labels = hierarchical_labels(features, k)
+    else:
+        raise ValueError("method must be 'kmeans' or 'hierarchical'")
+    return ClusteringResult(
+        profiles=list(profiles),
+        labels=np.asarray(labels),
+        feature_names=feature_names,
+        silhouette=silhouette_score(features, labels),
+    )

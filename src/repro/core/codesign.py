@@ -1,0 +1,164 @@
+"""Algorithm-driven co-design: using profiles to steer compilation.
+
+The paper's thesis is that mapping should be "not only hardware-aware but
+also algorithm-driven".  This module operationalises that: a routing
+*difficulty score* derived from the Table I relations predicts how much
+SWAP overhead a circuit will incur on a chip, and a
+:class:`MapperAdvisor` uses it to pick a mapping pipeline (cheap trivial
+mapping for easy circuits, look-ahead mapping for hard ones).
+
+The difficulty score aggregates exactly the qualitative relations of
+Table I:
+
+* low average shortest path (dense interaction graph) -> harder,
+* high maximal degree (hub qubits) -> harder,
+* low adjacency-matrix standard deviation (uniformly spread
+  interactions) -> harder,
+* low minimal degree -> easier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..circuit import Circuit
+from ..hardware.device import Device
+from .metrics import GraphMetrics
+from .profiles import CircuitProfile, profile_circuit
+
+if TYPE_CHECKING:  # avoid the compiler <-> core import cycle at runtime
+    from ..compiler.mapper import MappingResult, QuantumMapper
+
+__all__ = [
+    "routing_difficulty",
+    "spearman_correlation",
+    "MapperAdvisor",
+    "AdvisorDecision",
+]
+
+
+def routing_difficulty(metrics: GraphMetrics) -> float:
+    """Heuristic routing-difficulty score in ``[0, 1]``.
+
+    Built from the Table I relations (see module docstring); 0 means the
+    interaction graph should map with few SWAPs, 1 means heavy routing.
+    Degenerate graphs (no interactions) score 0.
+    """
+    n = metrics.num_qubits
+    if n < 2 or metrics.num_edges == 0:
+        return 0.0
+    # Dense graphs have avg shortest path ~ 1; sparse structured ones larger.
+    path_term = 1.0 / max(1.0, metrics.avg_shortest_path)
+    degree_term = metrics.max_degree / max(1.0, n - 1.0)
+    min_degree_term = metrics.min_degree / max(1.0, n - 1.0)
+    # Uniform weights (low std relative to mean) spread the routing load.
+    if metrics.adjacency_mean > 0:
+        dispersion = metrics.adjacency_std / metrics.adjacency_mean
+    else:
+        dispersion = 0.0
+    uniformity_term = 1.0 / (1.0 + dispersion)
+    score = (
+        0.35 * path_term
+        + 0.30 * degree_term
+        + 0.15 * min_degree_term
+        + 0.20 * uniformity_term
+    )
+    return float(min(1.0, max(0.0, score)))
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (used to validate metric/overhead links)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two same-length sequences of length >= 2")
+
+    def ranks(values: np.ndarray) -> np.ndarray:
+        order = values.argsort(kind="mergesort")
+        ranked = np.empty(len(values))
+        ranked[order] = np.arange(1, len(values) + 1, dtype=float)
+        # average ranks over ties
+        for value in np.unique(values):
+            mask = values == value
+            if mask.sum() > 1:
+                ranked[mask] = ranked[mask].mean()
+        return ranked
+
+    rx, ry = ranks(x), ranks(y)
+    sx, sy = rx.std(), ry.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+@dataclass(frozen=True)
+class AdvisorDecision:
+    """What the advisor chose and why.
+
+    Attributes
+    ----------
+    mapper_name:
+        Name of the selected pipeline.
+    difficulty:
+        The routing-difficulty score that drove the decision.
+    profile:
+        The circuit profile the score came from.
+    """
+
+    mapper_name: str
+    difficulty: float
+    profile: CircuitProfile
+
+
+class MapperAdvisor:
+    """Profile-driven mapper selection (the co-design loop in miniature).
+
+    Circuits whose interaction graphs score below ``threshold`` map with
+    a *light* pipeline — algorithm-driven placement (which is what easy,
+    structured graphs reward) followed by plain shortest-path routing,
+    skipping the SABRE search; harder circuits get the full SABRE
+    pipeline whose look-ahead pays off exactly when routing pressure is
+    high.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.35,
+        easy_mapper: Optional["QuantumMapper"] = None,
+        hard_mapper: Optional["QuantumMapper"] = None,
+    ) -> None:
+        from ..compiler.mapper import QuantumMapper, sabre_mapper
+        from ..compiler.placement import GraphSimilarityPlacement
+        from ..compiler.routing import TrivialRouter
+
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be within [0, 1]")
+        self.threshold = threshold
+        if easy_mapper is None:
+            easy_mapper = QuantumMapper(
+                GraphSimilarityPlacement(), TrivialRouter(), name="light"
+            )
+        self.easy_mapper = easy_mapper
+        self.hard_mapper = hard_mapper if hard_mapper is not None else sabre_mapper()
+
+    def decide(self, circuit: Circuit) -> AdvisorDecision:
+        """Profile the circuit and pick a pipeline (no mapping yet)."""
+        profile = profile_circuit(circuit)
+        difficulty = routing_difficulty(profile.metrics)
+        mapper = self.easy_mapper if difficulty < self.threshold else self.hard_mapper
+        return AdvisorDecision(mapper.name, difficulty, profile)
+
+    def map(self, circuit: Circuit, device: Device) -> "MappingResult":
+        """Select a pipeline by profile and run it."""
+        decision = self.decide(circuit)
+        mapper = (
+            self.easy_mapper
+            if decision.mapper_name == self.easy_mapper.name
+            else self.hard_mapper
+        )
+        return mapper.map(circuit, device)

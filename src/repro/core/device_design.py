@@ -1,0 +1,141 @@
+"""Application-driven device exploration (hardware co-design).
+
+"Algorithm-driven devices could be an effective solution in dealing with
+limited NISQ computing resources, as they can precisely be designed for
+some dedicated purpose" (Sec. III).  This module turns that statement
+into a tool: given a workload, sweep candidate chip topologies at a fixed
+qubit budget, map the workload onto each and rank the candidates by the
+resulting cost — the co-design loop from the application side down to the
+device layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..circuit import Circuit
+from ..hardware.calibration import Calibration, SURFACE17_CALIBRATION
+from ..hardware.device import Device
+from ..hardware.gateset import CNOT_GATESET, GateSet
+from ..hardware.library import TOPOLOGY_GENERATORS
+from ..hardware.topology import CouplingGraph
+
+__all__ = ["TopologyReport", "explore_topologies", "best_topology_for"]
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Mapping cost of one workload set on one candidate topology.
+
+    Attributes
+    ----------
+    name / num_edges:
+        Candidate identity and its wiring cost (more couplers = more
+        fabrication/control complexity — the *price* axis of co-design).
+    total_swaps / mean_overhead_percent / mean_fidelity:
+        Mapping cost of the workload set (the *performance* axis).
+    """
+
+    name: str
+    num_edges: int
+    total_swaps: int
+    mean_overhead_percent: float
+    mean_fidelity: float
+
+    def dominates(self, other: "TopologyReport") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        better_cost = self.num_edges <= other.num_edges
+        better_perf = self.total_swaps <= other.total_swaps
+        strictly = (
+            self.num_edges < other.num_edges
+            or self.total_swaps < other.total_swaps
+        )
+        return better_cost and better_perf and strictly
+
+
+def explore_topologies(
+    workload: Union[Circuit, Sequence[Circuit]],
+    num_qubits: int,
+    generators: Optional[Dict[str, Callable[[int], CouplingGraph]]] = None,
+    mapper=None,
+    calibration: Calibration = SURFACE17_CALIBRATION,
+    gate_set: GateSet = CNOT_GATESET,
+) -> List[TopologyReport]:
+    """Map a workload onto every candidate topology and rank the results.
+
+    Parameters
+    ----------
+    workload:
+        One circuit or a list of circuits (the application mix the device
+        is being designed for).
+    num_qubits:
+        The qubit budget every candidate is built with.
+    generators:
+        ``{name: builder(num_qubits)}``; defaults to the library's
+        :data:`~repro.hardware.library.TOPOLOGY_GENERATORS`.
+    mapper:
+        The compiler used for the evaluation (default SABRE — exploring
+        hardware with the trivial mapper would conflate router weakness
+        with topology cost).
+
+    Returns
+    -------
+    Reports sorted by (total swaps, edge count): best performer first,
+    cheaper wiring breaking ties.
+    """
+    from ..compiler.mapper import sabre_mapper
+
+    circuits = [workload] if isinstance(workload, Circuit) else list(workload)
+    if not circuits:
+        raise ValueError("workload must contain at least one circuit")
+    widest = max(c.num_qubits for c in circuits)
+    if widest > num_qubits:
+        raise ValueError(
+            f"workload needs {widest} qubits, budget is {num_qubits}"
+        )
+    generators = generators if generators is not None else TOPOLOGY_GENERATORS
+    mapper = mapper if mapper is not None else sabre_mapper()
+
+    reports = []
+    for name, build in generators.items():
+        coupling = build(num_qubits)
+        device = Device(coupling, calibration, gate_set, name=name)
+        swaps = 0
+        overheads = []
+        fidelities = []
+        for circuit in circuits:
+            result = mapper.map(circuit, device)
+            swaps += result.swap_count
+            overheads.append(result.overhead.gate_overhead_percent)
+            fidelities.append(result.fidelity.fidelity_after)
+        reports.append(
+            TopologyReport(
+                name=name,
+                num_edges=coupling.num_edges,
+                total_swaps=swaps,
+                mean_overhead_percent=sum(overheads) / len(overheads),
+                mean_fidelity=sum(fidelities) / len(fidelities),
+            )
+        )
+    return sorted(reports, key=lambda r: (r.total_swaps, r.num_edges))
+
+
+def best_topology_for(
+    workload: Union[Circuit, Sequence[Circuit]],
+    num_qubits: int,
+    exclude_all_to_all: bool = True,
+    **kwargs,
+) -> TopologyReport:
+    """The winning candidate of :func:`explore_topologies`.
+
+    ``exclude_all_to_all`` drops the fully-connected candidate by default
+    — it trivially wins on SWAPs while being unbuildable at scale, which
+    is exactly the resource constraint co-design is about.
+    """
+    reports = explore_topologies(workload, num_qubits, **kwargs)
+    if exclude_all_to_all:
+        filtered = [r for r in reports if r.name != "full"]
+        if filtered:
+            reports = filtered
+    return reports[0]

@@ -1,0 +1,313 @@
+"""Interaction-graph metrics: the Table I profiling suite.
+
+"For that purpose we took input from graph theory and characterized
+quantum algorithms based on their interaction graph metrics such as
+average shortest path, connectivity, clustering coefficient and similar
+ones, with a focus on metrics that are of interest for the mapping
+problem" (Sec. IV).
+
+Every metric is implemented from scratch (BFS shortest paths, Brandes
+betweenness, local clustering); the test-suite cross-validates them
+against networkx.  :data:`TABLE1_ROWS` reproduces the catalogue of
+Table I — metric, description and its relation to mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, fields
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from .interaction import InteractionGraph
+
+__all__ = [
+    "GraphMetrics",
+    "compute_metrics",
+    "circuit_graph_metrics",
+    "METRIC_NAMES",
+    "PAPER_RETAINED_METRICS",
+    "TABLE1_ROWS",
+]
+
+
+@dataclass(frozen=True)
+class GraphMetrics:
+    """The full hand-picked metric vector of one interaction graph.
+
+    All values are plain floats so the vector can feed the Pearson
+    reduction and the clustering directly.  Disconnected graphs average
+    path metrics over *reachable* pairs only; degenerate cases (no nodes,
+    no edges) yield zeros rather than NaNs so downstream statistics stay
+    well-defined.
+    """
+
+    num_qubits: float
+    num_edges: float
+    density: float
+    avg_shortest_path: float
+    diameter: float
+    closeness: float
+    max_degree: float
+    min_degree: float
+    avg_degree: float
+    degree_std: float
+    clustering_coefficient: float
+    adjacency_mean: float
+    adjacency_std: float
+    adjacency_variance: float
+    adjacency_max: float
+    adjacency_min_nonzero: float
+    weight_mean: float
+    weight_std: float
+    betweenness_mean: float
+    betweenness_max: float
+    algebraic_connectivity: float
+    assortativity: float
+    weight_entropy: float
+    connected: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def vector(self, names: List[str]) -> np.ndarray:
+        """The metric values for ``names`` as a feature vector."""
+        data = self.as_dict()
+        return np.array([data[name] for name in names], dtype=float)
+
+
+METRIC_NAMES: List[str] = [f.name for f in fields(GraphMetrics)]
+
+#: The reduced metric set the paper's Pearson analysis retains (Sec. IV):
+#: "average shortest path (hopcount/closeness), maximal and minimal degree
+#: and adjacency matrix standard deviation, as shown in Tab. I".
+PAPER_RETAINED_METRICS: List[str] = [
+    "avg_shortest_path",
+    "max_degree",
+    "min_degree",
+    "adjacency_std",
+]
+
+#: Table I of the paper: metric, description, relation to quantum mapping.
+TABLE1_ROWS: List[Tuple[str, str, str]] = [
+    (
+        "Hopcount / closeness",
+        "#links in shortest path between 2 nodes / avg hopcount between nodes",
+        "Large avg. hopcount between nodes -> less connected graph -> "
+        "simpler interaction graph easier to map",
+    ),
+    (
+        "Degree / degree distribution",
+        "#nodes to which some node is connected",
+        "",
+    ),
+    (
+        "Maximal and minimal degree",
+        "Max. and min. value of degree",
+        "Lower minimal and maximal degree -> qubits interact less -> "
+        "simpler to map",
+    ),
+    (
+        "Adjacency matrix (max/min, weight distribution, mean, std, variance)",
+        "Square matrix used for graph representation; shows which nodes are "
+        "connected with how many edges",
+        "Trade-off: bigger variance -> bigger weights of some edges compared "
+        "to others -> some specific pairs of qubits interact more than "
+        "others and less additional movement involved -> but also: less "
+        "operations done in parallel",
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Individual metric computations
+# ---------------------------------------------------------------------------
+
+def _path_statistics(graph: InteractionGraph) -> Tuple[float, float, float]:
+    """(avg shortest path, diameter, avg closeness) over reachable pairs."""
+    n = graph.num_qubits
+    if n < 2:
+        return 0.0, 0.0, 0.0
+    dist = graph.shortest_path_lengths()
+    reachable = dist > 0
+    if not reachable.any():
+        return 0.0, 0.0, 0.0
+    distances = dist[reachable].astype(float)
+    avg_path = float(distances.mean())
+    diameter = float(distances.max())
+    closeness_values = []
+    for node in range(n):
+        row = dist[node]
+        targets = row > 0
+        count = int(targets.sum())
+        if count == 0:
+            closeness_values.append(0.0)
+            continue
+        # Wasserman-Faust closeness: scaled for disconnected graphs.
+        total = float(row[targets].sum())
+        closeness_values.append((count / (n - 1)) * (count / total))
+    return avg_path, diameter, float(np.mean(closeness_values))
+
+
+def _clustering_coefficient(graph: InteractionGraph) -> float:
+    """Average local clustering coefficient (unweighted)."""
+    n = graph.num_qubits
+    if n == 0:
+        return 0.0
+    coefficients = []
+    for node in range(n):
+        neighbors = sorted(graph.neighbors(node))
+        k = len(neighbors)
+        if k < 2:
+            coefficients.append(0.0)
+            continue
+        links = sum(
+            1
+            for i in range(k)
+            for j in range(i + 1, k)
+            if graph.has_edge(neighbors[i], neighbors[j])
+        )
+        coefficients.append(2.0 * links / (k * (k - 1)))
+    return float(np.mean(coefficients))
+
+
+def _betweenness(graph: InteractionGraph) -> Tuple[float, float]:
+    """(mean, max) betweenness centrality via Brandes' algorithm.
+
+    Unweighted, normalised by ``(n-1)(n-2)/2`` as for undirected graphs.
+    """
+    n = graph.num_qubits
+    if n < 3:
+        return 0.0, 0.0
+    centrality = np.zeros(n)
+    for source in range(n):
+        stack: List[int] = []
+        predecessors: List[List[int]] = [[] for _ in range(n)]
+        sigma = np.zeros(n)
+        sigma[source] = 1.0
+        dist = np.full(n, -1)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            stack.append(current)
+            for neighbor in graph.neighbors(current):
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+                if dist[neighbor] == dist[current] + 1:
+                    sigma[neighbor] += sigma[current]
+                    predecessors[neighbor].append(current)
+        delta = np.zeros(n)
+        while stack:
+            node = stack.pop()
+            for pred in predecessors[node]:
+                delta[pred] += (sigma[pred] / sigma[node]) * (1.0 + delta[node])
+            if node != source:
+                centrality[node] += delta[node]
+    # Each undirected pair was counted twice.
+    centrality /= 2.0
+    scale = (n - 1) * (n - 2) / 2.0
+    centrality /= scale
+    return float(centrality.mean()), float(centrality.max())
+
+
+def _algebraic_connectivity(graph: InteractionGraph) -> float:
+    """Second-smallest Laplacian eigenvalue (Fiedler value), unweighted."""
+    n = graph.num_qubits
+    if n < 2:
+        return 0.0
+    adjacency = (graph.adjacency_matrix() > 0).astype(float)
+    degrees = adjacency.sum(axis=1)
+    laplacian = np.diag(degrees) - adjacency
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    return float(max(0.0, eigenvalues[1]))
+
+
+def _assortativity(graph: InteractionGraph) -> float:
+    """Degree assortativity: Pearson correlation of endpoint degrees.
+
+    Positive when hubs interact with hubs (hierarchical algorithms),
+    negative for hub-and-spoke structures (oracle ancillas); 0 for
+    degenerate graphs (no edges or constant degrees).
+    """
+    edges = graph.edges()
+    if not edges:
+        return 0.0
+    x, y = [], []
+    for a, b, _ in edges:
+        # Count each undirected edge in both directions so the statistic
+        # is symmetric (the standard convention).
+        x.extend((graph.degree(a), graph.degree(b)))
+        y.extend((graph.degree(b), graph.degree(a)))
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    sx, sy = x.std(), y.std()
+    if sx == 0 or sy == 0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+
+
+def _weight_entropy(graph: InteractionGraph) -> float:
+    """Shannon entropy of the normalised edge-weight distribution.
+
+    Captures Table I's "weight distribution" row as a single number:
+    maximal when interactions spread uniformly over pairs (random
+    circuits), low when a few pairs dominate (structured algorithms).
+    Normalised by ``log(num_edges)`` to [0, 1]; single-edge and empty
+    graphs score 0.
+    """
+    weights = np.array([w for _, _, w in graph.edges()], dtype=float)
+    if len(weights) < 2:
+        return 0.0
+    probabilities = weights / weights.sum()
+    entropy = -np.sum(probabilities * np.log(probabilities))
+    return float(entropy / math.log(len(weights)))
+
+
+def compute_metrics(graph: InteractionGraph) -> GraphMetrics:
+    """Evaluate the full Table I metric suite on one interaction graph."""
+    n = graph.num_qubits
+    degrees = np.array([graph.degree(q) for q in range(n)], dtype=float)
+    adjacency = graph.adjacency_matrix()
+    off_diagonal = adjacency[np.triu_indices(n, k=1)] if n > 1 else np.zeros(0)
+    weights = np.array([w for _, _, w in graph.edges()], dtype=float)
+    avg_path, diameter, closeness = _path_statistics(graph)
+    betweenness_mean, betweenness_max = _betweenness(graph)
+    max_pairs = n * (n - 1) / 2.0
+    return GraphMetrics(
+        num_qubits=float(n),
+        num_edges=float(graph.num_edges),
+        density=float(graph.num_edges / max_pairs) if max_pairs else 0.0,
+        avg_shortest_path=avg_path,
+        diameter=diameter,
+        closeness=closeness,
+        max_degree=float(degrees.max()) if n else 0.0,
+        min_degree=float(degrees.min()) if n else 0.0,
+        avg_degree=float(degrees.mean()) if n else 0.0,
+        degree_std=float(degrees.std()) if n else 0.0,
+        clustering_coefficient=_clustering_coefficient(graph),
+        adjacency_mean=float(off_diagonal.mean()) if off_diagonal.size else 0.0,
+        adjacency_std=float(off_diagonal.std()) if off_diagonal.size else 0.0,
+        adjacency_variance=float(off_diagonal.var()) if off_diagonal.size else 0.0,
+        adjacency_max=float(off_diagonal.max()) if off_diagonal.size else 0.0,
+        adjacency_min_nonzero=(
+            float(weights.min()) if weights.size else 0.0
+        ),
+        weight_mean=float(weights.mean()) if weights.size else 0.0,
+        weight_std=float(weights.std()) if weights.size else 0.0,
+        betweenness_mean=betweenness_mean,
+        betweenness_max=betweenness_max,
+        algebraic_connectivity=_algebraic_connectivity(graph),
+        assortativity=_assortativity(graph),
+        weight_entropy=_weight_entropy(graph),
+        connected=1.0 if graph.is_connected() else 0.0,
+    )
+
+
+def circuit_graph_metrics(circuit: Circuit) -> GraphMetrics:
+    """Metric suite of a circuit's interaction graph."""
+    return compute_metrics(InteractionGraph.from_circuit(circuit))

@@ -1,0 +1,112 @@
+"""Circuit profiles: common size parameters + interaction-graph metrics.
+
+A :class:`CircuitProfile` is the complete characterisation the paper
+argues for — "using this new metrics and the common circuit parameters,
+algorithms can be clustered based on their similarities" — bundling the
+three classical descriptors with the Table I graph-metric vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit import Circuit, SizeParameters, size_parameters
+from ..workloads.suite import BenchmarkCircuit
+from .interaction import InteractionGraph
+from .metrics import GraphMetrics, compute_metrics
+
+__all__ = ["CircuitProfile", "profile_circuit", "profile_suite"]
+
+#: Size-parameter feature names usable in feature vectors alongside the
+#: graph metrics.
+_SIZE_FEATURES = {
+    "num_gates": lambda s: float(s.num_gates),
+    "two_qubit_fraction": lambda s: s.two_qubit_fraction,
+    "depth": lambda s: float(s.depth),
+}
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Full profile of one benchmark circuit.
+
+    Attributes
+    ----------
+    name / family:
+        Provenance: generator name and benchmark class ("random",
+        "reversible", "real" — or "?" for ad-hoc circuits).
+    size:
+        The classical size parameters (qubits, gates, 2q%, depth).
+    metrics:
+        The Table I interaction-graph metric vector.
+    """
+
+    name: str
+    family: str
+    size: SizeParameters
+    metrics: GraphMetrics
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.family in ("random", "reversible")
+
+    def feature_vector(self, names: Sequence[str]) -> np.ndarray:
+        """Feature values by name; accepts both graph-metric names and the
+        size-parameter names ``num_gates``, ``two_qubit_fraction`` and
+        ``depth``."""
+        metric_values = self.metrics.as_dict()
+        values = []
+        for name in names:
+            if name in metric_values:
+                values.append(metric_values[name])
+            elif name in _SIZE_FEATURES:
+                values.append(_SIZE_FEATURES[name](self.size))
+            else:
+                raise KeyError(f"unknown feature {name!r}")
+        return np.array(values, dtype=float)
+
+    def as_dict(self) -> Dict[str, float]:
+        record: Dict[str, float] = dict(self.metrics.as_dict())
+        record.update(
+            num_gates=float(self.size.num_gates),
+            two_qubit_fraction=self.size.two_qubit_fraction,
+            depth=float(self.size.depth),
+        )
+        return record
+
+
+def profile_circuit(
+    circuit: Circuit, family: str = "?", name: Optional[str] = None
+) -> CircuitProfile:
+    """Profile one circuit: size parameters + graph metrics.
+
+    Interaction graphs are defined over *two-qubit* gates (Sec. III), so
+    circuits still containing three-or-more-qubit gates (Toffoli
+    networks, Grover oracles) are first lowered to a CNOT basis — the
+    mapper would do the same before routing, and profiling the raw
+    multi-qubit form would hide every interaction.  The reported size
+    parameters stay those of the original circuit.
+    """
+    graph_source = circuit
+    if any(g.is_unitary and g.num_qubits > 2 for g in circuit):
+        from ..compiler.decompose import decompose_circuit
+        from ..hardware.gateset import CNOT_GATESET
+
+        graph_source = decompose_circuit(circuit, CNOT_GATESET)
+    return CircuitProfile(
+        name=name if name is not None else (circuit.name or "circuit"),
+        family=family,
+        size=size_parameters(circuit),
+        metrics=compute_metrics(InteractionGraph.from_circuit(graph_source)),
+    )
+
+
+def profile_suite(benchmarks: Sequence[BenchmarkCircuit]) -> List[CircuitProfile]:
+    """Profile a whole benchmark suite (see :mod:`repro.workloads.suite`)."""
+    return [
+        profile_circuit(b.circuit, family=b.family, name=b.source)
+        for b in benchmarks
+    ]

@@ -1,0 +1,62 @@
+"""Experiment harnesses: one module per paper figure/table."""
+
+from .common import (
+    DEFAULT_QUBIT_BANDS,
+    MappingRecord,
+    paper_configuration,
+    records_to_csv,
+    run_suite,
+    stratified_spearman,
+)
+from .fig2 import Fig2Result, fig2_circuit, format_fig2, run_fig2
+from .report import generate_report
+from .fig3 import (
+    Fig3Data,
+    Fig3Point,
+    GATE_LIMIT_A_C,
+    fig3_data,
+    fig3_summary,
+    format_fig3,
+)
+from .fig4 import Fig4Result, format_fig4, run_fig4
+from .fig5 import (
+    Fig5Data,
+    Fig5Series,
+    fig5_data,
+    fig5_decile_contrast,
+    fig5_summary,
+    format_fig5,
+)
+from .table1 import Table1Result, format_table1, run_table1
+
+__all__ = [
+    "DEFAULT_QUBIT_BANDS",
+    "MappingRecord",
+    "paper_configuration",
+    "records_to_csv",
+    "run_suite",
+    "stratified_spearman",
+    "fig5_decile_contrast",
+    "Fig2Result",
+    "fig2_circuit",
+    "format_fig2",
+    "run_fig2",
+    "generate_report",
+    "Fig3Data",
+    "Fig3Point",
+    "GATE_LIMIT_A_C",
+    "fig3_data",
+    "fig3_summary",
+    "format_fig3",
+    "Fig4Result",
+    "format_fig4",
+    "run_fig4",
+    "Fig5Data",
+    "Fig5Series",
+    "fig5_data",
+    "fig5_summary",
+    "format_fig5",
+    "Table1Result",
+    "format_table1",
+    "run_table1",
+]

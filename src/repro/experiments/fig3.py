@@ -1,0 +1,154 @@
+"""Figure 3: the cost of (trivial) mapping.
+
+(a) gate number vs circuit fidelity, (b) two-qubit-gate percentage vs
+gate overhead, (c) gate overhead vs fidelity decrease — for randomly
+generated circuits (squares) and real algorithms (circles) mapped onto
+the 100-qubit extended Surface-17 with the OpenQL-style trivial mapper.
+Panels (a) and (c) restrict to circuits with fewer than 400 gates, as in
+the paper's caption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.codesign import spearman_correlation
+from .common import MappingRecord
+
+__all__ = [
+    "Fig3Point",
+    "Fig3Data",
+    "fig3_data",
+    "fig3_summary",
+    "format_fig3",
+    "GATE_LIMIT_A_C",
+]
+
+#: "For a) and c) only circuits with less than 400 gates were used."
+GATE_LIMIT_A_C = 400
+
+
+@dataclass(frozen=True)
+class Fig3Point:
+    """One scatter point (the family tells square from circle)."""
+
+    x: float
+    y: float
+    family: str
+    name: str
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.family != "real"
+
+
+@dataclass
+class Fig3Data:
+    """The three panels' scatter series."""
+
+    panel_a: List[Fig3Point]  # gate number vs circuit fidelity
+    panel_b: List[Fig3Point]  # 2q-gate % vs gate overhead %
+    panel_c: List[Fig3Point]  # gate overhead % vs fidelity decrease %
+
+
+def fig3_data(records: Sequence[MappingRecord]) -> Fig3Data:
+    """Project suite records onto the three panels of Fig. 3."""
+    panel_a = [
+        Fig3Point(r.gates_before, r.fidelity_before, r.family, r.name)
+        for r in records
+        if r.gates_before < GATE_LIMIT_A_C
+    ]
+    panel_b = [
+        Fig3Point(
+            r.size.two_qubit_percentage,
+            r.gate_overhead_percent,
+            r.family,
+            r.name,
+        )
+        for r in records
+    ]
+    panel_c = [
+        Fig3Point(
+            r.gate_overhead_percent,
+            r.fidelity_decrease_percent,
+            r.family,
+            r.name,
+        )
+        for r in records
+        if r.gates_before < GATE_LIMIT_A_C
+    ]
+    return Fig3Data(panel_a, panel_b, panel_c)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return float(np.mean(values)) if len(values) else float("nan")
+
+
+def fig3_summary(data: Fig3Data) -> Dict[str, float]:
+    """Quantitative shape checks for the three panels.
+
+    Returns the statistics EXPERIMENTS.md reports:
+
+    * ``a_spearman``: rank correlation of fidelity with gate count
+      (paper: strongly negative — fidelity decays with gates),
+    * ``b_spearman``: rank correlation of overhead with 2q-gate %
+      (paper: positive),
+    * ``c_spearman``: rank correlation of fidelity decrease with
+      overhead (paper: positive),
+    * per-family mean overhead/decrease (paper: synthetic above real).
+    """
+    summary: Dict[str, float] = {}
+    if len(data.panel_a) >= 2:
+        summary["a_spearman"] = spearman_correlation(
+            [p.x for p in data.panel_a], [p.y for p in data.panel_a]
+        )
+    if len(data.panel_b) >= 2:
+        summary["b_spearman"] = spearman_correlation(
+            [p.x for p in data.panel_b], [p.y for p in data.panel_b]
+        )
+    if len(data.panel_c) >= 2:
+        summary["c_spearman"] = spearman_correlation(
+            [p.x for p in data.panel_c], [p.y for p in data.panel_c]
+        )
+    synthetic_overhead = [p.y for p in data.panel_b if p.is_synthetic]
+    real_overhead = [p.y for p in data.panel_b if not p.is_synthetic]
+    summary["b_mean_overhead_synthetic"] = _mean(synthetic_overhead)
+    summary["b_mean_overhead_real"] = _mean(real_overhead)
+    synthetic_decrease = [p.y for p in data.panel_c if p.is_synthetic]
+    real_decrease = [p.y for p in data.panel_c if not p.is_synthetic]
+    summary["c_mean_decrease_synthetic"] = _mean(synthetic_decrease)
+    summary["c_mean_decrease_real"] = _mean(real_decrease)
+    return summary
+
+
+def format_fig3(data: Fig3Data, max_rows: int = 12) -> str:
+    """Render the figure's series as aligned text tables."""
+    lines = ["Fig. 3(a): gate number vs circuit fidelity (<400 gates)"]
+    lines.append(f"{'circuit':30s} {'family':10s} {'gates':>7s} {'fidelity':>9s}")
+    for point in sorted(data.panel_a, key=lambda p: p.x)[:max_rows]:
+        lines.append(
+            f"{point.name[:30]:30s} {point.family:10s} {point.x:7.0f} {point.y:9.4f}"
+        )
+    lines.append("")
+    lines.append("Fig. 3(b): 2-qubit gate % vs gate overhead %")
+    lines.append(f"{'circuit':30s} {'family':10s} {'2q %':>6s} {'ovh %':>8s}")
+    for point in sorted(data.panel_b, key=lambda p: p.x)[:max_rows]:
+        lines.append(
+            f"{point.name[:30]:30s} {point.family:10s} {point.x:6.1f} {point.y:8.1f}"
+        )
+    lines.append("")
+    lines.append("Fig. 3(c): gate overhead % vs fidelity decrease % (<400 gates)")
+    lines.append(f"{'circuit':30s} {'family':10s} {'ovh %':>8s} {'dec %':>7s}")
+    for point in sorted(data.panel_c, key=lambda p: p.x)[:max_rows]:
+        lines.append(
+            f"{point.name[:30]:30s} {point.family:10s} {point.x:8.1f} {point.y:7.1f}"
+        )
+    summary = fig3_summary(data)
+    lines.append("")
+    lines.append("Summary statistics:")
+    for key, value in summary.items():
+        lines.append(f"  {key:32s} {value:8.3f}")
+    return "\n".join(lines)

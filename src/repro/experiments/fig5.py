@@ -1,0 +1,142 @@
+"""Figure 5: gate overhead vs interaction-graph parameters.
+
+"Fig. 5 shows that all circuits with high gate overhead had on average
+low variation in edge weight distribution, low average shortest path
+between qubits and higher max. degree, which are expected values from
+Tab. I."  Each point is one benchmark mapped on the 100-qubit chip;
+squares are synthetic circuits, circles real algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.codesign import spearman_correlation
+from .common import MappingRecord
+
+__all__ = [
+    "Fig5Series",
+    "Fig5Data",
+    "fig5_data",
+    "fig5_decile_contrast",
+    "fig5_summary",
+    "format_fig5",
+]
+
+#: The graph parameters on Fig. 5's x-axes and the overhead-correlation
+#: sign Table I predicts for each (high overhead <-> ...).
+FIG5_METRICS: List[Tuple[str, int]] = [
+    ("adjacency_std", -1),  # low variation in edge weights -> high overhead
+    ("avg_shortest_path", -1),  # low avg shortest path -> high overhead
+    ("max_degree", +1),  # higher max degree -> high overhead
+]
+
+
+@dataclass(frozen=True)
+class Fig5Series:
+    """One panel: a graph metric against gate overhead."""
+
+    metric: str
+    expected_sign: int
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+    family: Tuple[str, ...]
+
+    def spearman(self) -> float:
+        return spearman_correlation(self.x, self.y)
+
+    def sign_matches(self) -> bool:
+        """True when the measured rank correlation has the Table I sign."""
+        value = self.spearman()
+        return value * self.expected_sign > 0
+
+
+@dataclass
+class Fig5Data:
+    series: List[Fig5Series]
+
+    def panel(self, metric: str) -> Fig5Series:
+        for series in self.series:
+            if series.metric == metric:
+                return series
+        raise KeyError(f"no Fig. 5 panel for metric {metric!r}")
+
+
+def fig5_data(records: Sequence[MappingRecord]) -> Fig5Data:
+    """Project suite records onto the Fig. 5 panels."""
+    series = []
+    for metric, sign in FIG5_METRICS:
+        x, y, family = [], [], []
+        for record in records:
+            x.append(record.metrics.as_dict()[metric])
+            y.append(record.gate_overhead_percent)
+            family.append(record.family)
+        series.append(
+            Fig5Series(metric, sign, tuple(x), tuple(y), tuple(family))
+        )
+    return Fig5Data(series)
+
+
+def fig5_decile_contrast(
+    data: Fig5Data, decile: float = 0.1
+) -> Dict[str, Tuple[float, float, bool]]:
+    """The paper's literal Fig. 5 statement, as a statistic.
+
+    "All circuits with high gate overhead had on average low variation in
+    edge weight distribution, low average shortest path between qubits
+    and higher max. degree."  For each panel, compares the mean metric
+    value of the top-``decile`` overhead circuits against the rest and
+    reports ``(top_mean, rest_mean, matches_expected_direction)``.
+    """
+    if not 0.0 < decile < 1.0:
+        raise ValueError("decile must be in (0, 1)")
+    result: Dict[str, Tuple[float, float, bool]] = {}
+    for series in data.series:
+        count = max(1, int(len(series.y) * decile))
+        order = np.argsort(series.y)
+        top = order[-count:]
+        rest = order[:-count] if len(order) > count else order
+        top_mean = float(np.mean([series.x[i] for i in top]))
+        rest_mean = float(np.mean([series.x[i] for i in rest]))
+        if series.expected_sign < 0:
+            ok = top_mean < rest_mean
+        else:
+            ok = top_mean > rest_mean
+        result[series.metric] = (top_mean, rest_mean, ok)
+    return result
+
+
+def fig5_summary(data: Fig5Data) -> Dict[str, float]:
+    """Per-panel Spearman correlations plus sign-agreement flags."""
+    summary: Dict[str, float] = {}
+    for series in data.series:
+        value = series.spearman()
+        summary[f"spearman_{series.metric}"] = value
+        summary[f"sign_ok_{series.metric}"] = float(series.sign_matches())
+    return summary
+
+
+def format_fig5(data: Fig5Data, max_rows: int = 10) -> str:
+    """Render each panel as a text table plus the correlation summary."""
+    lines = ["Fig. 5: gate overhead (%) vs interaction graph parameters"]
+    for series in data.series:
+        lines.append("")
+        direction = "negative" if series.expected_sign < 0 else "positive"
+        lines.append(
+            f"Panel: {series.metric} (expected {direction} relation to overhead)"
+        )
+        lines.append(f"{'family':10s} {series.metric:>18s} {'overhead %':>11s}")
+        order = np.argsort(series.y)[::-1][:max_rows]
+        for index in order:
+            lines.append(
+                f"{series.family[index]:10s} {series.x[index]:18.3f} "
+                f"{series.y[index]:11.1f}"
+            )
+        lines.append(
+            f"Spearman = {series.spearman():+.3f} "
+            f"(sign matches Table I: {series.sign_matches()})"
+        )
+    return "\n".join(lines)

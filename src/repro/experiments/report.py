@@ -1,0 +1,119 @@
+"""Markdown mapping reports for benchmark sweeps.
+
+Turns a list of :class:`~repro.experiments.common.MappingRecord` into a
+self-contained markdown document — suite composition, per-family cost
+breakdown, the worst offenders, and the graph-metric correlations of
+Fig. 5 — the artefact to attach to a compiler-evaluation writeup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.codesign import spearman_correlation
+from ..core.metrics import PAPER_RETAINED_METRICS
+from .common import MappingRecord
+
+__all__ = ["generate_report"]
+
+
+def _mean(values) -> float:
+    return float(np.mean(values)) if len(values) else float("nan")
+
+
+def generate_report(
+    records: Sequence[MappingRecord],
+    title: str = "Mapping report",
+    device_name: str = "",
+    mapper_name: str = "",
+    worst: int = 8,
+) -> str:
+    """Render a benchmark sweep as a markdown report.
+
+    Parameters
+    ----------
+    records:
+        The sweep's results (at least one).
+    title / device_name / mapper_name:
+        Header metadata.
+    worst:
+        How many highest-overhead circuits to single out.
+    """
+    if not records:
+        raise ValueError("cannot report on an empty sweep")
+    lines: List[str] = [f"# {title}", ""]
+    if device_name or mapper_name:
+        lines.append(
+            f"*Device:* {device_name or 'n/a'} — *mapper:* "
+            f"{mapper_name or 'n/a'} — *circuits:* {len(records)}"
+        )
+        lines.append("")
+
+    # --- headline numbers ------------------------------------------------
+    overheads = [r.gate_overhead_percent for r in records]
+    swaps = [r.swap_count for r in records]
+    fidelity_drops = [r.fidelity_decrease_percent for r in records]
+    lines.append("## Headline")
+    lines.append("")
+    lines.append("| metric | mean | median | max |")
+    lines.append("|---|---:|---:|---:|")
+    for label, values in (
+        ("gate overhead %", overheads),
+        ("SWAPs", swaps),
+        ("fidelity decrease %", fidelity_drops),
+    ):
+        lines.append(
+            f"| {label} | {_mean(values):.1f} | "
+            f"{float(np.median(values)):.1f} | {max(values):.1f} |"
+        )
+    lines.append("")
+
+    # --- per family -------------------------------------------------------
+    lines.append("## Per benchmark family")
+    lines.append("")
+    lines.append("| family | circuits | mean overhead % | mean SWAPs |")
+    lines.append("|---|---:|---:|---:|")
+    for family in sorted({r.family for r in records}):
+        members = [r for r in records if r.family == family]
+        lines.append(
+            f"| {family} | {len(members)} | "
+            f"{_mean([m.gate_overhead_percent for m in members]):.1f} | "
+            f"{_mean([m.swap_count for m in members]):.1f} |"
+        )
+    lines.append("")
+
+    # --- worst offenders ----------------------------------------------------
+    lines.append(f"## Highest-overhead circuits (top {worst})")
+    lines.append("")
+    lines.append(
+        "| circuit | family | qubits | gates | overhead % | max degree | "
+        "adjacency std |"
+    )
+    lines.append("|---|---|---:|---:|---:|---:|---:|")
+    ranked = sorted(records, key=lambda r: -r.gate_overhead_percent)[:worst]
+    for record in ranked:
+        lines.append(
+            f"| {record.name} | {record.family} | {record.size.num_qubits} | "
+            f"{record.size.num_gates} | {record.gate_overhead_percent:.1f} | "
+            f"{record.metrics.max_degree:.0f} | "
+            f"{record.metrics.adjacency_std:.2f} |"
+        )
+    lines.append("")
+
+    # --- graph-metric correlations (the Fig. 5 reading) --------------------
+    if len(records) >= 3:
+        lines.append("## Interaction-graph metrics vs overhead")
+        lines.append("")
+        lines.append("| metric | Spearman vs overhead % |")
+        lines.append("|---|---:|")
+        for name in PAPER_RETAINED_METRICS:
+            values = [r.metrics.as_dict()[name] for r in records]
+            try:
+                correlation = spearman_correlation(values, overheads)
+            except ValueError:
+                continue
+            lines.append(f"| {name} | {correlation:+.3f} |")
+        lines.append("")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,85 @@
+"""Table I: the interaction-graph metric catalogue and its reduction.
+
+Reproduces both halves of the paper's Table I story: the catalogue of
+metrics with their relation to mapping (:data:`TABLE1_ROWS`), and the
+Pearson-correlation reduction that "reduced our previous metric set to:
+average shortest path (hopcount/closeness), maximal and minimal degree
+and adjacency matrix standard deviation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+from ..core.correlation import MetricReduction, reduce_metrics
+from ..core.metrics import (
+    GraphMetrics,
+    PAPER_RETAINED_METRICS,
+    TABLE1_ROWS,
+)
+from .common import MappingRecord
+
+__all__ = ["Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Result:
+    """The reduction outcome over a benchmark population.
+
+    Attributes
+    ----------
+    reduction:
+        Full Pearson-reduction record (matrix, retained, dropped).
+    paper_metrics_retained:
+        Which of the paper's four retained metrics survived here too.
+    """
+
+    reduction: MetricReduction
+    paper_metrics_retained: List[str]
+
+    @property
+    def retained(self) -> List[str]:
+        return self.reduction.retained
+
+    def reproduces_paper_set(self) -> bool:
+        """True when all four paper-retained metrics are kept."""
+        return len(self.paper_metrics_retained) == len(PAPER_RETAINED_METRICS)
+
+
+def run_table1(
+    records: Sequence[MappingRecord],
+    threshold: float = 0.85,
+) -> Table1Result:
+    """Run the Pearson reduction over a mapped suite's metric vectors."""
+    metric_sets: List[GraphMetrics] = [r.metrics for r in records]
+    reduction = reduce_metrics(metric_sets, threshold=threshold)
+    kept = [m for m in PAPER_RETAINED_METRICS if m in reduction.retained]
+    return Table1Result(reduction=reduction, paper_metrics_retained=kept)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the catalogue and the reduction like the paper's Table I."""
+    lines = ["Table I: metrics for characterizing interaction graphs"]
+    for metric, description, relation in TABLE1_ROWS:
+        lines.append(f"* {metric}")
+        lines.append(f"    {description}")
+        if relation:
+            lines.append(f"    relation to mapping: {relation}")
+    lines.append("")
+    lines.append(
+        f"Pearson reduction (|r| >= {result.reduction.threshold:.2f} "
+        "is redundant):"
+    )
+    lines.append(f"  retained: {', '.join(result.retained)}")
+    lines.append(
+        "  paper's retained set present: "
+        f"{', '.join(result.paper_metrics_retained) or 'none'}"
+    )
+    dropped = sorted(result.reduction.dropped.items())
+    for name, (kept_by, correlation) in dropped:
+        lines.append(
+            f"  dropped {name:24s} (|r|={correlation:.2f} with {kept_by})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Full-stack integration: QISA, control electronics, end-to-end pipeline."""
+
+from .isa import Bundle, Instruction, IsaProgram, compile_to_isa
+from .control import ControlConstraintViolation, ControlModel
+from .pulses import (
+    Pulse,
+    PulseSchedule,
+    Waveform,
+    compile_to_pulses,
+    drag_envelope,
+    flat_top_envelope,
+    gaussian_envelope,
+    square_envelope,
+)
+from .stack import ExecutionReport, FullStack
+
+__all__ = [
+    "Bundle",
+    "Instruction",
+    "IsaProgram",
+    "compile_to_isa",
+    "ControlConstraintViolation",
+    "ControlModel",
+    "Pulse",
+    "PulseSchedule",
+    "Waveform",
+    "compile_to_pulses",
+    "drag_envelope",
+    "flat_top_envelope",
+    "gaussian_envelope",
+    "square_envelope",
+    "ExecutionReport",
+    "FullStack",
+]

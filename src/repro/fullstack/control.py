@@ -1,0 +1,125 @@
+"""Control-electronics model (the classical-control layer of Fig. 1).
+
+The paper lists "classical control constraints that come from the use of
+shared control electronics" among the hardware limitations — shared
+waveform generators limit how many operations of a kind can run at once.
+This module models such a controller and checks/was-enforces the
+constraint on schedules and ISA programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..compiler.scheduling import Schedule, asap_schedule
+from ..hardware.calibration import Calibration, SURFACE17_CALIBRATION
+
+__all__ = ["ControlConstraintViolation", "ControlModel"]
+
+
+@dataclass(frozen=True)
+class ControlConstraintViolation:
+    """One point in time where the controller is oversubscribed.
+
+    Attributes
+    ----------
+    time_ns:
+        Start time at which the violation occurs.
+    kind:
+        ``"two-qubit"`` or ``"measurement"``.
+    count / limit:
+        How many operations overlapped vs how many the hardware allows.
+    """
+
+    time_ns: float
+    kind: str
+    count: int
+    limit: int
+
+
+@dataclass(frozen=True)
+class ControlModel:
+    """Shared-control resource limits of the classical electronics.
+
+    Attributes
+    ----------
+    max_parallel_2q:
+        Simultaneously driveable two-qubit gates (flux pulser channels);
+        ``None`` means unconstrained.
+    max_parallel_measure:
+        Simultaneously running measurements (readout feedlines).
+    """
+
+    max_parallel_2q: Optional[int] = None
+    max_parallel_measure: Optional[int] = None
+    name: str = "controller"
+
+    def __post_init__(self) -> None:
+        for label, limit in (
+            ("max_parallel_2q", self.max_parallel_2q),
+            ("max_parallel_measure", self.max_parallel_measure),
+        ):
+            if limit is not None and limit < 1:
+                raise ValueError(f"{label} must be at least 1")
+
+    # ------------------------------------------------------------------
+    def violations(self, schedule: Schedule) -> List[ControlConstraintViolation]:
+        """All constraint violations of a schedule."""
+        found: List[ControlConstraintViolation] = []
+        found.extend(
+            self._check(
+                schedule,
+                lambda e: e.gate.is_two_qubit,
+                self.max_parallel_2q,
+                "two-qubit",
+            )
+        )
+        found.extend(
+            self._check(
+                schedule,
+                lambda e: e.gate.name == "measure",
+                self.max_parallel_measure,
+                "measurement",
+            )
+        )
+        return found
+
+    def _check(
+        self, schedule: Schedule, selector, limit: Optional[int], kind: str
+    ) -> List[ControlConstraintViolation]:
+        if limit is None:
+            return []
+        entries = [e for e in schedule.entries if selector(e)]
+        violations = []
+        for entry in entries:
+            overlapping = sum(
+                1
+                for other in entries
+                if other.start_ns < entry.end_ns and other.end_ns > entry.start_ns
+            )
+            if overlapping > limit:
+                violations.append(
+                    ControlConstraintViolation(
+                        entry.start_ns, kind, overlapping, limit
+                    )
+                )
+        return violations
+
+    def satisfies(self, schedule: Schedule) -> bool:
+        return not self.violations(schedule)
+
+    # ------------------------------------------------------------------
+    def reschedule(
+        self,
+        schedule: Schedule,
+        calibration: Calibration = SURFACE17_CALIBRATION,
+    ) -> Schedule:
+        """Re-run ASAP scheduling with this controller's 2q limit enforced.
+
+        Measurement limits are not rescheduled (measurements sit at the
+        end of NISQ circuits; the checker reports them instead).
+        """
+        return asap_schedule(
+            schedule.circuit, calibration, max_parallel_2q=self.max_parallel_2q
+        )

@@ -1,0 +1,164 @@
+"""eQASM-lite: a timed quantum instruction set (the QISA layer of Fig. 1).
+
+The paper's full stack lowers compiler output into "low-level
+instructions ... further translated into specific pulses".  This module
+models that interface in the spirit of eQASM (Fu et al., HPCA 2019): a
+program is a sequence of *bundles* — sets of operations issued in the
+same cycle — separated by explicit ``qwait`` timing instructions, which
+is exactly the information the control electronics needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.gates import Gate
+from ..compiler.scheduling import Schedule
+
+__all__ = ["Instruction", "Bundle", "IsaProgram", "compile_to_isa"]
+
+#: Gate-kind -> ISA mnemonic (QuTech CC-Light style).
+_MNEMONICS = {
+    "i": "I",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "h": "H",
+    "s": "S",
+    "sdg": "SDG",
+    "t": "T",
+    "tdg": "TDG",
+    "sx": "X90",
+    "sxdg": "XM90",
+    "rx": "RX",
+    "ry": "RY",
+    "rz": "RZ",
+    "p": "RZ",
+    "cz": "CZ",
+    "cx": "CNOT",
+    "swap": "SWAP",
+    "measure": "MEASZ",
+    "reset": "PREPZ",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One ISA operation on explicit physical qubits."""
+
+    mnemonic: str
+    qubits: Tuple[int, ...]
+    angle: Optional[float] = None
+
+    def to_text(self) -> str:
+        operands = ", ".join(f"Q{q}" for q in self.qubits)
+        if self.angle is not None:
+            return f"{self.mnemonic} {operands}, {self.angle:.6f}"
+        return f"{self.mnemonic} {operands}"
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """Operations issued in the same cycle, plus the wait that precedes it.
+
+    Attributes
+    ----------
+    wait_cycles:
+        ``qwait`` inserted before this bundle (0 for back-to-back issue).
+    instructions:
+        Parallel operations (pairwise disjoint qubit sets).
+    """
+
+    wait_cycles: int
+    instructions: Tuple[Instruction, ...]
+
+    def to_text(self) -> str:
+        parallel = " | ".join(i.to_text() for i in self.instructions)
+        if self.wait_cycles > 0:
+            return f"qwait {self.wait_cycles}\n{parallel}"
+        return parallel
+
+
+@dataclass
+class IsaProgram:
+    """A timed instruction stream for one mapped circuit.
+
+    Attributes
+    ----------
+    bundles:
+        The issue schedule.
+    cycle_ns:
+        Hardware cycle duration the timing is quantised to.
+    num_qubits:
+        Width of the physical register addressed.
+    """
+
+    bundles: List[Bundle]
+    cycle_ns: float
+    num_qubits: int
+
+    @property
+    def num_instructions(self) -> int:
+        return sum(len(b.instructions) for b in self.bundles)
+
+    @property
+    def duration_cycles(self) -> int:
+        """Issue time of the final bundle (sum of waits + bundle count)."""
+        return sum(b.wait_cycles for b in self.bundles) + len(self.bundles)
+
+    def to_text(self) -> str:
+        """Render the program as eQASM-like assembly text."""
+        header = [
+            f"# eqasm-lite program: {self.num_qubits} qubits, "
+            f"cycle {self.cycle_ns:g} ns",
+        ]
+        return "\n".join(header + [b.to_text() for b in self.bundles]) + "\n"
+
+    def instruction_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for bundle in self.bundles:
+            for instruction in bundle.instructions:
+                histogram[instruction.mnemonic] = (
+                    histogram.get(instruction.mnemonic, 0) + 1
+                )
+        return histogram
+
+
+def _to_instruction(gate: Gate) -> Optional[Instruction]:
+    if gate.name == "barrier":
+        return None
+    mnemonic = _MNEMONICS.get(gate.name)
+    if mnemonic is None:
+        mnemonic = gate.name.upper()
+    angle = gate.params[0] if gate.params else None
+    return Instruction(mnemonic, gate.qubits, angle)
+
+
+def compile_to_isa(schedule: Schedule, cycle_ns: float = 20.0) -> IsaProgram:
+    """Lower a timed schedule into an eQASM-lite program.
+
+    Gates starting in the same hardware cycle form one bundle; gaps
+    between consecutive bundles become ``qwait`` instructions.  Gate start
+    times are quantised to ``cycle_ns``.
+    """
+    if cycle_ns <= 0:
+        raise ValueError("cycle duration must be positive")
+    by_cycle: Dict[int, List[Instruction]] = {}
+    for entry in schedule.entries:
+        instruction = _to_instruction(entry.gate)
+        if instruction is None:
+            continue
+        cycle = int(round(entry.start_ns / cycle_ns))
+        by_cycle.setdefault(cycle, []).append(instruction)
+    bundles: List[Bundle] = []
+    previous = 0
+    for cycle in sorted(by_cycle):
+        wait = cycle - previous if bundles else cycle
+        bundles.append(Bundle(max(0, wait), tuple(by_cycle[cycle])))
+        previous = cycle + 1
+    return IsaProgram(
+        bundles=bundles,
+        cycle_ns=cycle_ns,
+        num_qubits=schedule.circuit.num_qubits,
+    )

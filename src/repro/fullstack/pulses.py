@@ -1,0 +1,276 @@
+"""Pulse-level lowering: the control-electronics output of Fig. 1.
+
+"The output of the compiler, low-level instructions, are then further
+translated into specific pulses to operate and control the chip's
+qubits" (Sec. II).  This module performs that final translation for the
+simulated stack: each scheduled gate becomes an analog waveform on a
+control channel —
+
+* one-qubit gates: DRAG-corrected Gaussian microwave pulses on the
+  qubit's *drive* channel (amplitude scaled by rotation angle),
+* two-qubit CZ/CX primitives: flat-top flux pulses on the pair's *flux*
+  channel,
+* measurements: long square pulses on the *readout* channel.
+
+Waveforms are sampled numpy arrays, so the control layer is inspectable
+and testable (pulse areas, channel occupancy, collision freedom).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..circuit.gates import Gate
+from ..compiler.scheduling import Schedule
+from ..hardware.calibration import Calibration, SURFACE17_CALIBRATION
+
+__all__ = [
+    "Waveform",
+    "Pulse",
+    "PulseSchedule",
+    "gaussian_envelope",
+    "drag_envelope",
+    "flat_top_envelope",
+    "square_envelope",
+    "compile_to_pulses",
+]
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+
+def gaussian_envelope(
+    duration_ns: float, amplitude: float, sample_rate_gsps: float = 1.0
+) -> np.ndarray:
+    """Gaussian envelope truncated at +-2 sigma, peak ``amplitude``."""
+    samples = max(2, int(round(duration_ns * sample_rate_gsps)))
+    t = np.linspace(-2.0, 2.0, samples)
+    return amplitude * np.exp(-0.5 * t ** 2)
+
+
+def drag_envelope(
+    duration_ns: float,
+    amplitude: float,
+    beta: float = 0.2,
+    sample_rate_gsps: float = 1.0,
+) -> np.ndarray:
+    """DRAG pulse: complex Gaussian with derivative quadrature.
+
+    The imaginary part is ``beta`` times the envelope derivative — the
+    standard leakage-suppression correction for weakly anharmonic
+    transmons.
+    """
+    samples = max(2, int(round(duration_ns * sample_rate_gsps)))
+    t = np.linspace(-2.0, 2.0, samples)
+    in_phase = amplitude * np.exp(-0.5 * t ** 2)
+    quadrature = beta * (-t) * in_phase
+    return in_phase + 1j * quadrature
+
+
+def flat_top_envelope(
+    duration_ns: float,
+    amplitude: float,
+    rise_fraction: float = 0.2,
+    sample_rate_gsps: float = 1.0,
+) -> np.ndarray:
+    """Square pulse with cosine-ramped rise and fall (flux pulses)."""
+    if not 0.0 <= rise_fraction <= 0.5:
+        raise ValueError("rise_fraction must be within [0, 0.5]")
+    samples = max(4, int(round(duration_ns * sample_rate_gsps)))
+    rise = max(1, int(samples * rise_fraction))
+    envelope = np.full(samples, amplitude, dtype=float)
+    ramp = 0.5 * (1 - np.cos(np.linspace(0.0, math.pi, rise)))
+    envelope[:rise] = amplitude * ramp
+    envelope[-rise:] = amplitude * ramp[::-1]
+    return envelope
+
+
+def square_envelope(
+    duration_ns: float, amplitude: float, sample_rate_gsps: float = 1.0
+) -> np.ndarray:
+    """Constant envelope (readout tones)."""
+    samples = max(1, int(round(duration_ns * sample_rate_gsps)))
+    return np.full(samples, amplitude, dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# Pulses and schedules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Waveform:
+    """Sampled analog waveform.
+
+    Attributes
+    ----------
+    samples:
+        Complex or real amplitude samples (|amplitude| <= 1).
+    sample_rate_gsps:
+        Sampling rate in gigasamples per second (samples per ns).
+    """
+
+    samples: np.ndarray
+    sample_rate_gsps: float = 1.0
+
+    @property
+    def duration_ns(self) -> float:
+        return len(self.samples) / self.sample_rate_gsps
+
+    @property
+    def area(self) -> float:
+        """Integral of the (real-part) envelope — proportional to the
+        driven rotation angle for resonant pulses."""
+        return float(np.real(self.samples).sum() / self.sample_rate_gsps)
+
+    @property
+    def peak(self) -> float:
+        return float(np.max(np.abs(self.samples))) if len(self.samples) else 0.0
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """One waveform on one channel at one time.
+
+    Channels follow the conventional naming: ``d<q>`` qubit drive,
+    ``f<a>-<b>`` pair flux, ``m<q>`` readout.
+    """
+
+    channel: str
+    start_ns: float
+    waveform: Waveform
+    label: str = ""
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.waveform.duration_ns
+
+
+@dataclass
+class PulseSchedule:
+    """The complete analog program of one circuit execution."""
+
+    pulses: List[Pulse]
+    sample_rate_gsps: float
+
+    @property
+    def duration_ns(self) -> float:
+        return max((p.end_ns for p in self.pulses), default=0.0)
+
+    @property
+    def num_pulses(self) -> int:
+        return len(self.pulses)
+
+    def channels(self) -> List[str]:
+        return sorted({p.channel for p in self.pulses})
+
+    def pulses_on(self, channel: str) -> List[Pulse]:
+        return sorted(
+            (p for p in self.pulses if p.channel == channel),
+            key=lambda p: p.start_ns,
+        )
+
+    def has_collisions(self) -> bool:
+        """True when two pulses overlap on the same channel."""
+        for channel in self.channels():
+            sequence = self.pulses_on(channel)
+            for first, second in zip(sequence, sequence[1:]):
+                if second.start_ns < first.end_ns - 1e-9:
+                    return True
+        return False
+
+    def total_samples(self) -> int:
+        return sum(len(p.waveform.samples) for p in self.pulses)
+
+    def channel_occupancy(self, channel: str) -> float:
+        """Fraction of the schedule during which the channel is driven."""
+        duration = self.duration_ns
+        if duration == 0:
+            return 0.0
+        busy = sum(p.waveform.duration_ns for p in self.pulses_on(channel))
+        return busy / duration
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+_DRIVE_AMPLITUDE = 0.8  # peak amplitude of a pi rotation
+_FLUX_AMPLITUDE = 0.5
+_READOUT_AMPLITUDE = 0.3
+
+
+def _rotation_angle(gate: Gate) -> float:
+    """Effective rotation angle of a one-qubit gate (for amplitude scaling)."""
+    if gate.params:
+        return abs(gate.params[0])
+    half_turn = {"x", "y", "z", "h"}
+    quarter = {"s", "sdg", "sx", "sxdg"}
+    eighth = {"t", "tdg"}
+    if gate.name in half_turn:
+        return math.pi
+    if gate.name in quarter:
+        return math.pi / 2.0
+    if gate.name in eighth:
+        return math.pi / 4.0
+    return math.pi
+
+
+def compile_to_pulses(
+    schedule: Schedule,
+    calibration: Calibration = SURFACE17_CALIBRATION,
+    sample_rate_gsps: float = 1.0,
+) -> PulseSchedule:
+    """Lower a timed gate schedule to channel waveforms.
+
+    Virtual-Z rotations (``rz``/``p``/``z``/``s``/``t`` family) are
+    implemented in software on real hardware — they become zero-length
+    frame updates and emit no waveform, which is also how this lowering
+    treats them.
+    """
+    if sample_rate_gsps <= 0:
+        raise ValueError("sample rate must be positive")
+    virtual_z = {"z", "s", "sdg", "t", "tdg", "rz", "p", "i"}
+    pulses: List[Pulse] = []
+    for entry in schedule.entries:
+        gate = entry.gate
+        if gate.name == "barrier" or gate.name in virtual_z and gate.num_qubits == 1:
+            continue
+        if gate.name in ("measure", "reset"):
+            waveform = Waveform(
+                square_envelope(
+                    entry.duration_ns, _READOUT_AMPLITUDE, sample_rate_gsps
+                ),
+                sample_rate_gsps,
+            )
+            pulses.append(
+                Pulse(f"m{gate.qubits[0]}", entry.start_ns, waveform, gate.name)
+            )
+            continue
+        if gate.num_qubits == 1:
+            amplitude = _DRIVE_AMPLITUDE * _rotation_angle(gate) / math.pi
+            waveform = Waveform(
+                drag_envelope(
+                    entry.duration_ns, amplitude, sample_rate_gsps=sample_rate_gsps
+                ),
+                sample_rate_gsps,
+            )
+            pulses.append(
+                Pulse(f"d{gate.qubits[0]}", entry.start_ns, waveform, gate.name)
+            )
+            continue
+        # Two-qubit primitives: one flux pulse on the pair channel.
+        a, b = sorted(gate.qubits[:2])
+        waveform = Waveform(
+            flat_top_envelope(
+                entry.duration_ns, _FLUX_AMPLITUDE, sample_rate_gsps=sample_rate_gsps
+            ),
+            sample_rate_gsps,
+        )
+        pulses.append(Pulse(f"f{a}-{b}", entry.start_ns, waveform, gate.name))
+    pulses.sort(key=lambda p: (p.start_ns, p.channel))
+    return PulseSchedule(pulses, sample_rate_gsps)

@@ -1,0 +1,142 @@
+"""The full-stack pipeline of the paper's Fig. 1.
+
+:class:`FullStack` wires the functional elements together — quantum
+application (a :class:`~repro.circuit.Circuit`), compiler (a
+:class:`~repro.compiler.mapper.QuantumMapper`), QISA code generation,
+control-electronics constraints and the quantum device — and executes a
+circuit end to end, producing an :class:`ExecutionReport` with every
+layer's artefact.
+
+The grey co-design arrows of Fig. 1 are visible in the data flow: device
+calibration feeds the mapper and the fidelity estimate (bottom-up), and
+the application's interaction-graph profile can steer mapper selection
+via :class:`~repro.core.codesign.MapperAdvisor` (top-down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..circuit import Circuit
+from ..compiler.mapper import MappingResult, QuantumMapper, trivial_mapper
+from ..compiler.scheduling import Schedule
+from ..core.codesign import MapperAdvisor
+from ..hardware.device import Device
+from ..metrics.fidelity import decoherence_fidelity
+from .control import ControlModel
+from .isa import IsaProgram, compile_to_isa
+
+__all__ = ["ExecutionReport", "FullStack"]
+
+_SIM_LIMIT = 16
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one run through the stack produced.
+
+    Attributes
+    ----------
+    mapping:
+        Compiler output (physical circuit, layouts, overhead, fidelity).
+    schedule:
+        Timed realisation under the control constraints.
+    program:
+        The eQASM-lite instruction stream.
+    estimated_fidelity:
+        Gate-product fidelity including decoherence exposure.
+    counts:
+        Measurement histogram from the state-vector backend (only for
+        circuits narrow enough to simulate; ``None`` otherwise).
+    """
+
+    mapping: MappingResult
+    schedule: Schedule
+    program: IsaProgram
+    estimated_fidelity: float
+    counts: Optional[Dict[str, int]] = None
+
+    @property
+    def latency_ns(self) -> float:
+        return self.schedule.latency_ns
+
+
+class FullStack:
+    """An executable full-stack quantum computing system.
+
+    Parameters
+    ----------
+    device:
+        The bottom layer (topology + calibration + gate set).
+    mapper:
+        The compiler; defaults to the trivial mapper.  Pass an
+        :class:`~repro.core.codesign.MapperAdvisor` via ``advisor`` to
+        let the application profile choose the mapper instead.
+    control:
+        Control-electronics constraints (optional).
+    cycle_ns:
+        QISA timing quantum.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        mapper: Optional[QuantumMapper] = None,
+        advisor: Optional[MapperAdvisor] = None,
+        control: Optional[ControlModel] = None,
+        cycle_ns: float = 20.0,
+    ) -> None:
+        if mapper is not None and advisor is not None:
+            raise ValueError("pass either a fixed mapper or an advisor, not both")
+        self.device = device
+        self.mapper = mapper if mapper is not None else trivial_mapper()
+        self.advisor = advisor
+        self.control = control
+        self.cycle_ns = cycle_ns
+
+    # ------------------------------------------------------------------
+    def compile(self, circuit: Circuit) -> MappingResult:
+        """Run the compiler layer only."""
+        if self.advisor is not None:
+            return self.advisor.map(circuit, self.device)
+        return self.mapper.map(circuit, self.device)
+
+    def execute(
+        self,
+        circuit: Circuit,
+        shots: int = 0,
+        seed: Optional[int] = None,
+    ) -> ExecutionReport:
+        """Push a circuit through every layer of the stack.
+
+        With ``shots > 0`` and a sufficiently narrow mapped circuit, the
+        state-vector backend samples a measurement histogram (the "quantum
+        device" at the bottom of the stack is the simulator here — the
+        substitution DESIGN.md documents).
+        """
+        mapping = self.compile(circuit)
+        max_parallel = self.control.max_parallel_2q if self.control else None
+        schedule = mapping.schedule(max_parallel_2q=max_parallel)
+        program = compile_to_isa(schedule, cycle_ns=self.cycle_ns)
+        fidelity = decoherence_fidelity(schedule, self.device.calibration)
+        counts = None
+        if shots > 0:
+            counts = self._sample(mapping, shots, seed)
+        return ExecutionReport(
+            mapping=mapping,
+            schedule=schedule,
+            program=program,
+            estimated_fidelity=fidelity,
+            counts=counts,
+        )
+
+    def _sample(
+        self, mapping: MappingResult, shots: int, seed: Optional[int]
+    ) -> Optional[Dict[str, int]]:
+        from ..sim.statevector import sample_counts
+
+        compact, _, _ = mapping._compact()
+        if compact.num_qubits > _SIM_LIMIT:
+            return None
+        return sample_counts(compact.without_directives(), shots, seed=seed)

@@ -1,0 +1,143 @@
+"""Device description files (OpenQL-style JSON hardware configs).
+
+OpenQL — the compiler whose trivial mapper the paper's experiments use —
+describes chips through JSON "hardware configuration" files.  This module
+round-trips :class:`~repro.hardware.device.Device` objects through an
+equivalent JSON schema, so devices can be versioned alongside experiments
+and foreign chips can be described without code::
+
+    {
+      "name": "my-chip",
+      "qubits": 5,
+      "edges": [[0, 1], [1, 2], ...],
+      "gate_set": ["rz", "sx", "x", "cx"],
+      "calibration": {"two_qubit_error": 0.01, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from .calibration import Calibration
+from .device import Device
+from .gateset import GateSet
+from .topology import CouplingGraph
+
+__all__ = ["device_to_json", "device_from_json", "save_device", "load_device"]
+
+_CALIBRATION_SCALARS = (
+    "single_qubit_error",
+    "two_qubit_error",
+    "measurement_error",
+    "crosstalk_error",
+    "single_qubit_duration_ns",
+    "two_qubit_duration_ns",
+    "measurement_duration_ns",
+    "t1_us",
+    "t2_us",
+)
+
+
+def device_to_json(device: Device) -> str:
+    """Serialise a device to the JSON hardware-config schema."""
+    calibration = device.calibration
+    payload: Dict = {
+        "name": device.name,
+        "qubits": device.num_qubits,
+        "edges": [list(edge) for edge in device.coupling.edges],
+        "gate_set": {
+            "name": device.gate_set.name,
+            "gates": sorted(device.gate_set.gate_names),
+        },
+        "calibration": {
+            key: getattr(calibration, key) for key in _CALIBRATION_SCALARS
+        },
+    }
+    payload["calibration"]["name"] = calibration.name
+    if calibration.qubit_errors:
+        payload["calibration"]["qubit_errors"] = {
+            str(q): e for q, e in sorted(calibration.qubit_errors.items())
+        }
+    if calibration.edge_errors:
+        payload["calibration"]["edge_errors"] = [
+            [min(pair), max(pair), error]
+            for pair, error in sorted(
+                calibration.edge_errors.items(), key=lambda kv: sorted(kv[0])
+            )
+        ]
+    if device.coupling.positions:
+        payload["positions"] = {
+            str(q): list(pos) for q, pos in sorted(device.coupling.positions.items())
+        }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def device_from_json(text: str) -> Device:
+    """Parse a JSON hardware config into a :class:`Device`.
+
+    Raises
+    ------
+    ValueError
+        On missing required fields or inconsistent data (the underlying
+        validators of CouplingGraph / Calibration / GateSet apply).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid device JSON: {exc}") from None
+    for required in ("qubits", "edges", "gate_set", "calibration"):
+        if required not in payload:
+            raise ValueError(f"device config missing {required!r}")
+
+    positions = None
+    if "positions" in payload:
+        positions = {
+            int(q): tuple(pos) for q, pos in payload["positions"].items()
+        }
+    coupling = CouplingGraph(
+        int(payload["qubits"]),
+        [tuple(edge) for edge in payload["edges"]],
+        name=payload.get("name", ""),
+        positions=positions,
+    )
+
+    gate_config = payload["gate_set"]
+    gate_set = GateSet.of(
+        gate_config.get("name", "custom"), gate_config["gates"]
+    )
+
+    calibration_config = dict(payload["calibration"])
+    qubit_errors = {
+        int(q): float(e)
+        for q, e in calibration_config.pop("qubit_errors", {}).items()
+    }
+    edge_errors = {
+        frozenset((int(a), int(b))): float(e)
+        for a, b, e in calibration_config.pop("edge_errors", [])
+    }
+    calibration = Calibration(
+        qubit_errors=qubit_errors,
+        edge_errors=edge_errors,
+        **calibration_config,
+    )
+    return Device(
+        coupling,
+        calibration,
+        gate_set,
+        name=payload.get("name", coupling.name),
+    )
+
+
+def save_device(device: Device, path: Union[str, Path]) -> Path:
+    """Write a device's JSON config to ``path``."""
+    path = Path(path)
+    path.write_text(device_to_json(device))
+    return path
+
+
+def load_device(path: Union[str, Path]) -> Device:
+    """Read a device from a JSON config file."""
+    return device_from_json(Path(path).read_text())

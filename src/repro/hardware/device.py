@@ -1,0 +1,147 @@
+"""The :class:`Device`: topology + calibration + primitive gate set.
+
+A device is the complete hardware description a compiler target needs —
+the bottom layer of the full stack whose parameters "pierce bottom-up
+through the stack" (Sec. I of the paper).  Convenience constructors build
+the configurations used by the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .calibration import Calibration, IDEAL_CALIBRATION, SURFACE17_CALIBRATION
+from .gateset import GateSet, SURFACE17_GATESET, CNOT_GATESET, UNRESTRICTED_GATESET
+from .library import (
+    fully_connected,
+    grid,
+    line,
+    surface17,
+    surface7,
+    surface_code_grid,
+)
+from .topology import CouplingGraph
+
+__all__ = [
+    "Device",
+    "surface7_device",
+    "surface17_device",
+    "surface17_extended_device",
+    "grid_device",
+    "line_device",
+    "all_to_all_device",
+]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A compiler target: coupling graph, calibration and gate set.
+
+    Attributes
+    ----------
+    coupling:
+        The chip's qubit-connectivity graph.
+    calibration:
+        Error/timing model (defaults to the Versluis Surface-17 numbers).
+    gate_set:
+        Natively supported gate kinds (defaults to the Surface-17 set).
+    name:
+        Report label; defaults to the coupling graph's name.
+    """
+
+    coupling: CouplingGraph
+    calibration: Calibration = SURFACE17_CALIBRATION
+    gate_set: GateSet = SURFACE17_GATESET
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            object.__setattr__(self, "name", self.coupling.name or "device")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling.num_qubits
+
+    def fits(self, num_virtual_qubits: int) -> bool:
+        """True when a circuit of that width can be placed on this chip."""
+        return num_virtual_qubits <= self.num_qubits
+
+
+def surface7_device(
+    calibration: Optional[Calibration] = None, gate_set: Optional[GateSet] = None
+) -> Device:
+    """The 7-qubit chip of the paper's Fig. 2."""
+    return Device(
+        surface7(),
+        calibration or SURFACE17_CALIBRATION,
+        gate_set or SURFACE17_GATESET,
+    )
+
+
+def surface17_device(
+    calibration: Optional[Calibration] = None, gate_set: Optional[GateSet] = None
+) -> Device:
+    """The 17-qubit Surface-17 chip (Versluis et al.)."""
+    return Device(
+        surface17(),
+        calibration or SURFACE17_CALIBRATION,
+        gate_set or SURFACE17_GATESET,
+    )
+
+
+def surface17_extended_device(
+    num_qubits: int = 100,
+    calibration: Optional[Calibration] = None,
+    gate_set: Optional[GateSet] = None,
+) -> Device:
+    """The paper's evaluation device: Surface-17 extended to ``num_qubits``.
+
+    Fig. 3 and Fig. 5 map every benchmark onto this 100-qubit
+    configuration with the Versluis error rates.
+    """
+    return Device(
+        surface_code_grid(num_qubits),
+        calibration or SURFACE17_CALIBRATION,
+        gate_set or SURFACE17_GATESET,
+    )
+
+
+def grid_device(
+    rows: int,
+    cols: int,
+    calibration: Optional[Calibration] = None,
+    gate_set: Optional[GateSet] = None,
+) -> Device:
+    """A square-grid device with CNOT basis (generic superconducting chip)."""
+    return Device(
+        grid(rows, cols),
+        calibration or SURFACE17_CALIBRATION,
+        gate_set or CNOT_GATESET,
+    )
+
+
+def line_device(
+    num_qubits: int,
+    calibration: Optional[Calibration] = None,
+    gate_set: Optional[GateSet] = None,
+) -> Device:
+    """A linear-nearest-neighbour device."""
+    return Device(
+        line(num_qubits),
+        calibration or SURFACE17_CALIBRATION,
+        gate_set or CNOT_GATESET,
+    )
+
+
+def all_to_all_device(
+    num_qubits: int,
+    calibration: Optional[Calibration] = None,
+    gate_set: Optional[GateSet] = None,
+) -> Device:
+    """Fully connected device (no routing needed; trapped-ion style)."""
+    return Device(
+        fully_connected(num_qubits),
+        calibration or IDEAL_CALIBRATION,
+        gate_set or UNRESTRICTED_GATESET,
+    )

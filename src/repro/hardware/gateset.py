@@ -1,0 +1,86 @@
+"""Primitive gate sets: which gate kinds a device executes natively.
+
+The paper lists the primitive gate set among the hardware constraints the
+mapper must satisfy ("a quantum chip gate set does not necessarily have to
+match the one used in the circuit to be run").  A :class:`GateSet` is a
+predicate over gate kinds; the decomposition pass rewrites foreign gates
+into members (see :mod:`repro.compiler.decompose`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from ..circuit.gates import Gate, STANDARD_GATES
+
+__all__ = [
+    "GateSet",
+    "SURFACE17_GATESET",
+    "IBM_BASIS_GATESET",
+    "CNOT_GATESET",
+    "UNRESTRICTED_GATESET",
+]
+
+_DIRECTIVES = frozenset({"measure", "reset", "barrier"})
+
+
+@dataclass(frozen=True)
+class GateSet:
+    """A named set of natively supported gate kinds.
+
+    Directives (measure/reset/barrier) are always allowed — they are
+    control operations, not unitaries.
+    """
+
+    name: str
+    gate_names: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.gate_names) - set(STANDARD_GATES)
+        if unknown:
+            raise ValueError(f"unknown gate kinds in gate set: {sorted(unknown)}")
+
+    @classmethod
+    def of(cls, name: str, names: Iterable[str]) -> "GateSet":
+        return cls(name, frozenset(names))
+
+    def supports(self, gate: Gate) -> bool:
+        """True when the device can execute ``gate`` natively."""
+        return gate.name in self.gate_names or gate.name in _DIRECTIVES
+
+    def supports_name(self, gate_name: str) -> bool:
+        return gate_name in self.gate_names or gate_name in _DIRECTIVES
+
+    @property
+    def two_qubit_primitives(self) -> FrozenSet[str]:
+        """Native two-qubit gate kinds (what SWAPs decompose into)."""
+        return frozenset(
+            n for n in self.gate_names if STANDARD_GATES[n].num_qubits == 2
+        )
+
+    def __contains__(self, gate_name: str) -> bool:
+        return self.supports_name(gate_name)
+
+
+#: QuTech CC-Light / Surface-17 primitive set: single-qubit Cliffords +
+#: T and rotations, with CZ as the only two-qubit primitive.
+SURFACE17_GATESET = GateSet.of(
+    "surface17",
+    ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "cz"],
+)
+
+#: IBM basis: {rz, sx, x} + CNOT.
+IBM_BASIS_GATESET = GateSet.of("ibm", ["i", "rz", "sx", "x", "cx"])
+
+#: Text-book basis: every standard one-qubit gate + CNOT.
+CNOT_GATESET = GateSet.of(
+    "cnot",
+    [
+        "i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+        "rx", "ry", "rz", "p", "u2", "u3", "cx",
+    ],
+)
+
+#: Accepts everything (mapping without decomposition).
+UNRESTRICTED_GATESET = GateSet.of("unrestricted", list(STANDARD_GATES))

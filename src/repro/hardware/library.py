@@ -1,0 +1,242 @@
+"""Topology generators: the chip layouts used by the paper and beyond.
+
+The central ones are the QuTech surface-code lattices of Versluis et al.
+(Phys. Rev. Applied 8, 034021): **Surface-7** (the paper's Fig. 2 chip),
+**Surface-17** and the **100-qubit extension of Surface-17** on which every
+mapping experiment of Fig. 3/5 runs.  The module also provides generic
+grids, lines, rings, fully-connected graphs and IBM-style heavy-hex
+lattices for the topology-sweep ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .topology import CouplingGraph, TopologyError
+
+__all__ = [
+    "surface7",
+    "surface17",
+    "rotated_surface_code",
+    "surface_code_grid",
+    "grid",
+    "line",
+    "ring",
+    "fully_connected",
+    "heavy_hex",
+    "star",
+    "TOPOLOGY_GENERATORS",
+]
+
+
+def surface7() -> CouplingGraph:
+    """The Surface-7 chip of Versluis et al. / the paper's Fig. 2.
+
+    Seven qubits in three diagonal rows (2-3-2); every qubit couples to
+    its diagonal neighbours, giving the central qubit degree 4.
+    """
+    edges = [(0, 2), (0, 3), (1, 3), (1, 4), (2, 5), (3, 5), (3, 6), (4, 6)]
+    positions = {
+        0: (1.0, 2.0),
+        1: (3.0, 2.0),
+        2: (0.0, 1.0),
+        3: (2.0, 1.0),
+        4: (4.0, 1.0),
+        5: (1.0, 0.0),
+        6: (3.0, 0.0),
+    }
+    return CouplingGraph(7, edges, name="surface-7", positions=positions)
+
+
+def rotated_surface_code(distance: int) -> CouplingGraph:
+    """Coupling graph of a distance-``d`` rotated surface code chip.
+
+    ``d**2`` data qubits sit on an integer grid, ``d**2 - 1`` ancillas on
+    the dual (half-offset) grid: all ``(d-1)**2`` interior plaquettes plus
+    alternating boundary plaquettes on each side.  Each ancilla couples to
+    its 2 or 4 diagonal data neighbours — the familiar degree-<=4 lattice
+    of superconducting surface-code devices (17 qubits for ``d=3``).
+
+    Qubits are numbered row-major top-to-bottom in geometry order, so a
+    BFS/row prefix of the lattice is connected.
+    """
+    if distance < 2:
+        raise TopologyError("surface code distance must be >= 2")
+    d = distance
+    data = [(2 * col, 2 * row) for row in range(d) for col in range(d)]
+    ancilla: List[Tuple[int, int]] = []
+    for a in range(d + 1):  # half-grid column index, position x = 2a - 1
+        for b in range(d + 1):  # half-grid row index, position y = 2b - 1
+            x, y = 2 * a - 1, 2 * b - 1
+            interior = 1 <= a <= d - 1 and 1 <= b <= d - 1
+            top = b == 0 and 1 <= a <= d - 1 and a % 2 == 0
+            bottom = b == d and 1 <= a <= d - 1 and a % 2 == 1
+            left = a == 0 and 1 <= b <= d - 1 and b % 2 == 1
+            right = a == d and 1 <= b <= d - 1 and b % 2 == 0
+            if interior or top or bottom or left or right:
+                ancilla.append((x, y))
+    nodes = sorted(data + ancilla, key=lambda p: (p[1], p[0]))
+    index = {pos: i for i, pos in enumerate(nodes)}
+    data_set = set(data)
+    edges = []
+    for (x, y) in ancilla:
+        for dx in (-1, 1):
+            for dy in (-1, 1):
+                neighbor = (x + dx, y + dy)
+                if neighbor in data_set:
+                    edges.append((index[(x, y)], index[neighbor]))
+    positions = {i: (float(x), float(-y)) for (x, y), i in index.items()}
+    return CouplingGraph(
+        len(nodes), edges, name=f"surface-code-d{d}", positions=positions
+    )
+
+
+def surface17() -> CouplingGraph:
+    """The 17-qubit Surface-17 chip (distance-3 rotated surface code)."""
+    graph = rotated_surface_code(3)
+    return CouplingGraph(
+        graph.num_qubits, graph.edges, name="surface-17", positions=graph.positions
+    )
+
+
+def surface_code_grid(num_qubits: int) -> CouplingGraph:
+    """Surface-code lattice extended/truncated to exactly ``num_qubits``.
+
+    This reproduces the paper's evaluation device: "an extended 100-qubit
+    version of the Surface-17 hardware configuration" (caption of Fig. 3).
+    The smallest rotated-surface-code lattice with at least ``num_qubits``
+    qubits is generated and cut down to a connected ``num_qubits``-node
+    prefix in BFS order (see
+    :meth:`~repro.hardware.topology.CouplingGraph.truncate_connected`).
+    """
+    if num_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    if num_qubits <= 7:
+        return surface7().truncate_connected(num_qubits)
+    distance = 3
+    while 2 * distance * distance - 1 < num_qubits:
+        distance += 1
+    lattice = rotated_surface_code(distance)
+    if lattice.num_qubits == num_qubits:
+        return lattice
+    cut = lattice.truncate_connected(num_qubits)
+    return CouplingGraph(
+        cut.num_qubits,
+        cut.edges,
+        name=f"surface-code-{num_qubits}q",
+        positions=cut.positions,
+    )
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """A ``rows x cols`` nearest-neighbour square grid."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    positions = {
+        r * cols + c: (float(c), float(-r)) for r in range(rows) for c in range(cols)
+    }
+    return CouplingGraph(
+        rows * cols, edges, name=f"grid-{rows}x{cols}", positions=positions
+    )
+
+
+def square_grid(num_qubits: int) -> CouplingGraph:
+    """Near-square grid with exactly ``num_qubits`` qubits (BFS truncation)."""
+    side = max(1, math.isqrt(num_qubits))
+    if side * side < num_qubits:
+        side += 1
+    return grid(side, side).truncate_connected(num_qubits)
+
+
+def line(num_qubits: int) -> CouplingGraph:
+    """A 1D chain (linear nearest neighbour)."""
+    if num_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    positions = {i: (float(i), 0.0) for i in range(num_qubits)}
+    return CouplingGraph(num_qubits, edges, name=f"line-{num_qubits}", positions=positions)
+
+
+def ring(num_qubits: int) -> CouplingGraph:
+    """A 1D chain closed into a cycle."""
+    if num_qubits < 3:
+        raise TopologyError("a ring needs at least three qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    positions = {
+        i: (
+            math.cos(2 * math.pi * i / num_qubits),
+            math.sin(2 * math.pi * i / num_qubits),
+        )
+        for i in range(num_qubits)
+    }
+    return CouplingGraph(num_qubits, edges, name=f"ring-{num_qubits}", positions=positions)
+
+
+def fully_connected(num_qubits: int) -> CouplingGraph:
+    """All-to-all connectivity (trapped-ion style; routing-free)."""
+    if num_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    edges = [(a, b) for a in range(num_qubits) for b in range(a + 1, num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"full-{num_qubits}")
+
+
+def star(num_qubits: int) -> CouplingGraph:
+    """One hub coupled to every other qubit (resonator-bus style)."""
+    if num_qubits < 2:
+        raise TopologyError("a star needs at least two qubits")
+    edges = [(0, i) for i in range(1, num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"star-{num_qubits}")
+
+
+def heavy_hex(rows: int = 2, cols: int = 2) -> CouplingGraph:
+    """IBM-style heavy-hex lattice.
+
+    Built as a hexagonal lattice with every edge subdivided by an extra
+    qubit (the "heavy" flag qubits), which is exactly IBM's heavy-hex
+    connectivity pattern; max degree 3.
+    """
+    import networkx as nx
+
+    if rows < 1 or cols < 1:
+        raise TopologyError("heavy-hex dimensions must be positive")
+    hexagons = nx.hexagonal_lattice_graph(rows, cols)
+    heavy = nx.Graph()
+    nodes = sorted(hexagons.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    positions: Dict[int, Tuple[float, float]] = {}
+    for node in nodes:
+        pos = hexagons.nodes[node].get("pos", (float(node[0]), float(node[1])))
+        positions[index[node]] = (float(pos[0]), float(pos[1]))
+    next_id = len(nodes)
+    edges = []
+    for a, b in sorted(hexagons.edges()):
+        midpoint = next_id
+        next_id += 1
+        pa, pb = positions[index[a]], positions[index[b]]
+        positions[midpoint] = ((pa[0] + pb[0]) / 2, (pa[1] + pb[1]) / 2)
+        edges.append((index[a], midpoint))
+        edges.append((midpoint, index[b]))
+    return CouplingGraph(
+        next_id, edges, name=f"heavy-hex-{rows}x{cols}", positions=positions
+    )
+
+
+#: Name -> constructor map used by the topology-sweep benchmarks and CLI
+#: examples.  Every generator takes a target qubit count.
+TOPOLOGY_GENERATORS = {
+    "line": line,
+    "ring": ring,
+    "grid": square_grid,
+    "surface": surface_code_grid,
+    "full": fully_connected,
+    "star": star,
+}

@@ -1,0 +1,27 @@
+"""Mapping performance metrics: overhead and fidelity."""
+
+from .overhead import OverheadReport, gate_overhead, overhead_report
+from .fidelity import (
+    FidelityReport,
+    crosstalk_fidelity,
+    crosstalk_overlaps,
+    decoherence_fidelity,
+    fidelity_decrease,
+    fidelity_report,
+    log_fidelity,
+    product_fidelity,
+)
+
+__all__ = [
+    "OverheadReport",
+    "gate_overhead",
+    "overhead_report",
+    "FidelityReport",
+    "crosstalk_fidelity",
+    "crosstalk_overlaps",
+    "decoherence_fidelity",
+    "fidelity_decrease",
+    "fidelity_report",
+    "log_fidelity",
+    "product_fidelity",
+]

@@ -1,0 +1,144 @@
+"""Equivalence checking: the compiler's correctness oracle.
+
+Mapping relocates virtual qubits onto physical ones and moves them around
+with SWAPs, so a mapped circuit is only expected to equal the original
+*up to that relocation*.  :func:`verify_mapping` checks exactly this
+contract: with virtual qubit ``v`` loaded at physical ``initial_layout[v]``
+and read out from ``final_layout[v]``, the mapped circuit must act on
+states like the original circuit (global phase excepted), with all
+unassigned physical qubits returned to |0>.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit import Circuit
+from .statevector import Simulator, random_product_state
+from .unitary import circuit_unitary
+
+__all__ = [
+    "allclose_up_to_global_phase",
+    "states_equivalent",
+    "circuits_equivalent",
+    "verify_mapping",
+]
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when ``a == exp(i phi) * b`` for some phase ``phi``."""
+    a = np.asarray(a).reshape(-1)
+    b = np.asarray(b).reshape(-1)
+    if a.shape != b.shape:
+        return False
+    index = int(np.argmax(np.abs(b)))
+    if abs(b[index]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[index] / b[index]
+    magnitude = abs(phase)
+    if abs(magnitude - 1.0) > max(atol, 1e-6):
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def states_equivalent(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """Alias for global-phase-insensitive state comparison."""
+    return allclose_up_to_global_phase(a, b, atol=atol)
+
+
+def circuits_equivalent(
+    first: Circuit, second: Circuit, atol: float = 1e-8
+) -> bool:
+    """Exact unitary equivalence (up to global phase) of two circuits.
+
+    Both circuits must have the same register size and be measurement
+    free.  Intended for small circuits (the unitary is built densely).
+    """
+    if first.num_qubits != second.num_qubits:
+        return False
+    u1 = circuit_unitary(first.without_directives())
+    u2 = circuit_unitary(second.without_directives())
+    return allclose_up_to_global_phase(u1, u2, atol=atol)
+
+
+def _embed_virtual_state(
+    virtual_state: np.ndarray,
+    num_physical: int,
+    layout: Dict[int, int],
+) -> np.ndarray:
+    """Tensor the virtual state into a physical register (rest |0>).
+
+    ``virtual_state`` has one axis per virtual qubit; axis ``v`` is placed
+    at physical axis ``layout[v]``.
+    """
+    num_virtual = virtual_state.ndim
+    state = virtual_state
+    for _ in range(num_physical - num_virtual):
+        state = np.tensordot(state, np.array([1.0, 0.0], dtype=complex), axes=0)
+    # Current axis order: virtual 0..n-1 then the fresh |0> qubits.  Build
+    # the permutation sending axis v -> layout[v] and fillers to the free
+    # physical slots in increasing order.
+    assigned = set(layout[v] for v in range(num_virtual))
+    free = [p for p in range(num_physical) if p not in assigned]
+    destination = [layout[v] for v in range(num_virtual)] + free
+    return np.moveaxis(state, range(num_physical), destination)
+
+
+def verify_mapping(
+    original: Circuit,
+    mapped: Circuit,
+    initial_layout: Dict[int, int],
+    final_layout: Dict[int, int],
+    trials: int = 3,
+    seed: Optional[int] = 1234,
+    atol: float = 1e-7,
+) -> bool:
+    """Check that a mapped circuit faithfully implements the original.
+
+    Parameters
+    ----------
+    original:
+        The pre-mapping circuit on ``n`` virtual qubits.
+    mapped:
+        The post-mapping circuit on ``m >= n`` physical qubits
+        (measurement free; directives are dropped before comparison).
+    initial_layout / final_layout:
+        Virtual-to-physical assignments before and after execution.
+    trials:
+        Number of random product-state inputs.  Product states span the
+        full Hilbert space, so ``trials`` successes certify unitary
+        equality up to numerical tolerance with overwhelming probability.
+
+    Returns
+    -------
+    bool
+        True when every trial matches up to global phase.
+    """
+    num_virtual = original.num_qubits
+    num_physical = mapped.num_qubits
+    if num_physical < num_virtual:
+        raise ValueError("mapped circuit has fewer qubits than the original")
+    for name, layout in (("initial", initial_layout), ("final", final_layout)):
+        images = [layout[v] for v in range(num_virtual)]
+        if len(set(images)) != len(images):
+            raise ValueError(f"{name} layout is not injective")
+        if any(not 0 <= p < num_physical for p in images):
+            raise ValueError(f"{name} layout leaves the physical register")
+
+    original = original.without_directives()
+    mapped = mapped.without_directives()
+    rng = np.random.default_rng(seed)
+    simulator = Simulator(seed=0)
+    for _ in range(max(1, trials)):
+        virtual_in = random_product_state(num_virtual, rng)
+        virtual_out = simulator.run(original, initial_state=virtual_in).state
+        physical_in = _embed_virtual_state(virtual_in, num_physical, initial_layout)
+        physical_out = simulator.run(mapped, initial_state=physical_in).state
+        expected = _embed_virtual_state(virtual_out, num_physical, final_layout)
+        if not allclose_up_to_global_phase(physical_out, expected, atol=atol):
+            return False
+    return True

@@ -1,0 +1,140 @@
+"""Monte-Carlo noisy simulation (depolarizing Pauli-twirl model).
+
+The paper *estimates* circuit fidelity as a product of gate fidelities
+(Fig. 3 caption).  This module provides the ground truth that proxy
+approximates: stochastic Pauli-error trajectories through the dense
+simulator, from which an empirical success rate can be measured and
+compared against the product model (see
+``benchmarks/bench_fidelity_model.py``).
+
+Error model: after every one-qubit gate a uniformly random non-identity
+Pauli strikes the qubit with the calibration's one-qubit error
+probability; after every two-qubit gate one of the fifteen non-identity
+two-qubit Paulis strikes with the two-qubit error probability;
+measurement outcomes flip with the readout error probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate
+from ..hardware.calibration import Calibration, SURFACE17_CALIBRATION
+from .statevector import Simulator, apply_gate, zero_state
+
+__all__ = ["NoisySimulator", "estimate_success_rate", "SuccessRateEstimate"]
+
+_PAULIS = ("x", "y", "z")
+
+
+class NoisySimulator:
+    """Trajectory sampler for the depolarizing Pauli error model.
+
+    Each :meth:`run` call simulates *one* noisy trajectory; averaging an
+    observable over many trajectories estimates its value under the full
+    noise channel.
+    """
+
+    def __init__(
+        self,
+        calibration: Calibration = SURFACE17_CALIBRATION,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.calibration = calibration
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _maybe_pauli(self, state: np.ndarray, qubits: Tuple[int, ...]) -> np.ndarray:
+        """Inject a random Pauli on ``qubits`` (at least one non-identity)."""
+        while True:
+            choices = [int(self._rng.integers(4)) for _ in qubits]
+            if any(c > 0 for c in choices):
+                break
+        for qubit, choice in zip(qubits, choices):
+            if choice > 0:
+                state = apply_gate(state, Gate(_PAULIS[choice - 1], (qubit,)))
+        return state
+
+    def run(
+        self, circuit: Circuit, initial_state: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One noisy trajectory; returns the final state tensor.
+
+        ``measure``/``reset`` are not supported here (use the noiseless
+        :class:`~repro.sim.statevector.Simulator` plus readout flips, or
+        strip them) — trajectories are meant for fidelity estimation of
+        the unitary part.
+        """
+        if any(g.name in ("measure", "reset") for g in circuit):
+            raise ValueError("strip measurements before noisy trajectories")
+        if initial_state is None:
+            state = zero_state(circuit.num_qubits)
+        else:
+            state = np.asarray(initial_state, dtype=complex).reshape(
+                (2,) * circuit.num_qubits
+            )
+        for gate in circuit:
+            if gate.name == "barrier":
+                continue
+            state = apply_gate(state, gate)
+            error = self.calibration.gate_error(gate)
+            if error > 0 and self._rng.random() < error:
+                state = self._maybe_pauli(state, gate.qubits)
+        return state
+
+
+@dataclass(frozen=True)
+class SuccessRateEstimate:
+    """Monte-Carlo success-rate estimate with its sampling error.
+
+    Attributes
+    ----------
+    mean:
+        Average overlap ``|<ideal|noisy>|^2`` over trajectories — the
+        probability that the circuit output survived the noise.
+    std_error:
+        Standard error of the mean.
+    trajectories:
+        Sample count.
+    """
+
+    mean: float
+    std_error: float
+    trajectories: int
+
+    def agrees_with(self, model_value: float, sigmas: float = 4.0) -> bool:
+        """True when a model prediction lies within ``sigmas`` of the MC
+        estimate (with a small absolute floor for near-zero variances)."""
+        tolerance = max(sigmas * self.std_error, 0.02)
+        return abs(self.mean - model_value) <= tolerance
+
+
+def estimate_success_rate(
+    circuit: Circuit,
+    calibration: Calibration = SURFACE17_CALIBRATION,
+    trajectories: int = 200,
+    seed: Optional[int] = 7,
+) -> SuccessRateEstimate:
+    """Monte-Carlo estimate of the circuit's noisy success rate.
+
+    Runs ``trajectories`` Pauli-error trajectories of the (measurement
+    stripped) circuit and averages the squared overlap with the ideal
+    final state.  For a purely depolarizing model this converges to the
+    channel fidelity the paper's gate-product formula approximates.
+    """
+    if trajectories < 1:
+        raise ValueError("need at least one trajectory")
+    unitary_part = circuit.without_directives()
+    ideal = Simulator(seed=0).run(unitary_part).state.reshape(-1).conj()
+    simulator = NoisySimulator(calibration, seed=seed)
+    overlaps = np.empty(trajectories)
+    for index in range(trajectories):
+        final = simulator.run(unitary_part).reshape(-1)
+        overlaps[index] = abs(np.dot(ideal, final)) ** 2
+    mean = float(overlaps.mean())
+    std_error = float(overlaps.std(ddof=1) / np.sqrt(trajectories)) if trajectories > 1 else 0.0
+    return SuccessRateEstimate(mean, std_error, trajectories)

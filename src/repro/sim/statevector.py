@@ -1,0 +1,216 @@
+"""Dense state-vector simulator.
+
+Used as the library's *oracle*: compiler passes are validated by checking
+that compiled circuits act on states exactly like their inputs (up to the
+qubit permutation that mapping introduces).  The simulator is a plain
+numpy implementation; it comfortably handles the <= 20 qubit circuits the
+test-suite and equivalence checks use.
+
+State convention: the state of an ``n``-qubit register is an ``ndarray``
+of shape ``(2,) * n`` where axis ``i`` is qubit ``i`` and axis index 0/1
+is the computational value.  Qubit 0 is the most significant bit of the
+flattened amplitude index, matching the gate-matrix convention in
+:mod:`repro.circuit.gates`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate, gate_matrix
+
+__all__ = [
+    "zero_state",
+    "basis_state",
+    "random_product_state",
+    "apply_gate",
+    "Simulator",
+    "SimulationResult",
+    "statevector",
+    "probabilities",
+    "sample_counts",
+]
+
+_MAX_QUBITS = 26
+
+
+def _check_width(num_qubits: int) -> None:
+    if num_qubits > _MAX_QUBITS:
+        raise ValueError(
+            f"dense simulation of {num_qubits} qubits exceeds the "
+            f"{_MAX_QUBITS}-qubit limit"
+        )
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """|0...0> as a ``(2,)*n`` tensor."""
+    _check_width(num_qubits)
+    state = np.zeros((2,) * num_qubits, dtype=complex)
+    state[(0,) * num_qubits] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, bits: Sequence[int]) -> np.ndarray:
+    """Computational basis state |bits[0] bits[1] ...>."""
+    if len(bits) != num_qubits:
+        raise ValueError("bit string length must equal qubit count")
+    _check_width(num_qubits)
+    state = np.zeros((2,) * num_qubits, dtype=complex)
+    state[tuple(int(b) for b in bits)] = 1.0
+    return state
+
+
+def random_product_state(
+    num_qubits: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Haar-random single-qubit states tensored together.
+
+    Product inputs span the full space, so agreement of two unitaries on a
+    handful of random product states certifies equality with overwhelming
+    probability — this is what the mapping verifier exploits.
+    """
+    _check_width(num_qubits)
+    rng = rng or np.random.default_rng()
+    state = np.ones((), dtype=complex)
+    for _ in range(num_qubits):
+        amplitudes = rng.normal(size=2) + 1j * rng.normal(size=2)
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = np.tensordot(state, amplitudes, axes=0)
+    return state.reshape((2,) * num_qubits)
+
+
+def apply_gate(state: np.ndarray, gate: Gate) -> np.ndarray:
+    """Apply a unitary gate to a state tensor; returns a new tensor."""
+    matrix = gate_matrix(gate)
+    k = gate.num_qubits
+    tensor = matrix.reshape((2,) * (2 * k))
+    axes = list(gate.qubits)
+    moved = np.tensordot(tensor, state, axes=(list(range(k, 2 * k)), axes))
+    # tensordot placed the gate's output axes first; restore positions.
+    return np.moveaxis(moved, range(k), axes)
+
+
+@dataclass
+class SimulationResult:
+    """Final state plus classical record of a simulation run.
+
+    Attributes
+    ----------
+    state:
+        Final state tensor, shape ``(2,)*n``.
+    measurements:
+        For each measured qubit, the list of outcomes in program order.
+    """
+
+    state: np.ndarray
+    measurements: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.state.ndim
+
+    def amplitudes(self) -> np.ndarray:
+        """Flat amplitude vector of length ``2**n`` (qubit 0 = MSB)."""
+        return self.state.reshape(-1)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes()) ** 2
+
+    def last_outcome(self, qubit: int) -> Optional[int]:
+        outcomes = self.measurements.get(qubit)
+        return outcomes[-1] if outcomes else None
+
+
+class Simulator:
+    """Stateful executor for circuits, with seeded measurement sampling.
+
+    ``measure`` collapses the state and records the outcome; ``reset``
+    measures then flips to |0> if needed; ``barrier`` is a no-op.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def run(
+        self, circuit: Circuit, initial_state: Optional[np.ndarray] = None
+    ) -> SimulationResult:
+        _check_width(circuit.num_qubits)
+        if initial_state is None:
+            state = zero_state(circuit.num_qubits)
+        else:
+            state = np.asarray(initial_state, dtype=complex)
+            if state.size != 2 ** circuit.num_qubits:
+                raise ValueError("initial state has wrong dimension")
+            state = state.reshape((2,) * circuit.num_qubits).copy()
+        result = SimulationResult(state=state)
+        for gate in circuit:
+            if gate.name == "barrier":
+                continue
+            if gate.name == "measure":
+                outcome, result.state = self._measure(result.state, gate.qubits[0])
+                result.measurements.setdefault(gate.qubits[0], []).append(outcome)
+                continue
+            if gate.name == "reset":
+                outcome, collapsed = self._measure(result.state, gate.qubits[0])
+                if outcome == 1:
+                    collapsed = apply_gate(collapsed, Gate("x", gate.qubits))
+                result.state = collapsed
+                continue
+            result.state = apply_gate(result.state, gate)
+        return result
+
+    def _measure(self, state: np.ndarray, qubit: int) -> Tuple[int, np.ndarray]:
+        moved = np.moveaxis(state, qubit, 0)
+        p1 = float(np.sum(np.abs(moved[1]) ** 2))
+        outcome = 1 if self._rng.random() < p1 else 0
+        probability = p1 if outcome == 1 else 1.0 - p1
+        if probability <= 0.0:  # numerical guard; pick the certain branch
+            outcome = 1 - outcome
+            probability = 1.0 - probability
+        collapsed = np.zeros_like(moved)
+        collapsed[outcome] = moved[outcome] / math.sqrt(probability)
+        return outcome, np.moveaxis(collapsed, 0, qubit)
+
+
+def statevector(
+    circuit: Circuit, initial_state: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Final state of a measurement-free run of ``circuit`` from |0...0>.
+
+    Raises
+    ------
+    ValueError
+        If the circuit contains ``measure`` or ``reset`` (their outcomes
+        are probabilistic; use :class:`Simulator` for those).
+    """
+    if any(g.name in ("measure", "reset") for g in circuit):
+        raise ValueError("statevector() requires a measurement-free circuit")
+    return Simulator(seed=0).run(circuit, initial_state).state
+
+
+def probabilities(circuit: Circuit) -> np.ndarray:
+    """Measurement probabilities of the final state (length ``2**n``)."""
+    return np.abs(statevector(circuit).reshape(-1)) ** 2
+
+
+def sample_counts(
+    circuit: Circuit, shots: int, seed: Optional[int] = None
+) -> Dict[str, int]:
+    """Sample ``shots`` computational-basis outcomes of the final state.
+
+    Returns a histogram keyed by bit strings (qubit 0 leftmost).
+    """
+    probs = probabilities(circuit.without_directives())
+    rng = np.random.default_rng(seed)
+    n = circuit.num_qubits
+    outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        key = format(int(outcome), f"0{n}b") if n else ""
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,68 @@
+"""Exact unitary construction for small circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..circuit.gates import gate_matrix
+
+__all__ = ["circuit_unitary", "permutation_unitary"]
+
+_MAX_UNITARY_QUBITS = 12
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """The ``2**n x 2**n`` unitary implemented by a measurement-free circuit.
+
+    Qubit 0 is the most significant bit of the matrix index, consistent
+    with :mod:`repro.circuit.gates`.
+
+    Raises
+    ------
+    ValueError
+        If the circuit measures/resets, or exceeds the size limit.
+    """
+    n = circuit.num_qubits
+    if n > _MAX_UNITARY_QUBITS:
+        raise ValueError(
+            f"unitary construction limited to {_MAX_UNITARY_QUBITS} qubits"
+        )
+    if any(g.name in ("measure", "reset") for g in circuit):
+        raise ValueError("circuit_unitary() requires a unitary circuit")
+    dim = 2 ** n
+    # Treat the identity's column index as a batch axis of size 2**n and
+    # push it through the circuit with the same tensor contraction the
+    # state simulator uses.
+    op = np.eye(dim, dtype=complex).reshape((2,) * n + (dim,))
+    for gate in circuit:
+        if gate.name == "barrier":
+            continue
+        k = gate.num_qubits
+        tensor = gate_matrix(gate).reshape((2,) * (2 * k))
+        axes = list(gate.qubits)
+        op = np.tensordot(tensor, op, axes=(list(range(k, 2 * k)), axes))
+        op = np.moveaxis(op, range(k), axes)
+    return op.reshape(dim, dim)
+
+
+def permutation_unitary(num_qubits: int, permutation: dict) -> np.ndarray:
+    """Unitary that relocates qubit ``q``'s state to ``permutation[q]``.
+
+    ``permutation`` must be a bijection on ``0..num_qubits-1``.  Basis
+    state ``|b_0 ... b_{n-1}>`` maps to the basis state whose bit at
+    position ``permutation[q]`` equals ``b_q``.
+    """
+    if sorted(permutation) != list(range(num_qubits)) or sorted(
+        permutation.values()
+    ) != list(range(num_qubits)):
+        raise ValueError("permutation must be a bijection on all qubits")
+    dim = 2 ** num_qubits
+    matrix = np.zeros((dim, dim), dtype=complex)
+    for source in range(dim):
+        bits = [(source >> (num_qubits - 1 - q)) & 1 for q in range(num_qubits)]
+        target = 0
+        for q in range(num_qubits):
+            target |= bits[q] << (num_qubits - 1 - permutation[q])
+        matrix[target, source] = 1.0
+    return matrix

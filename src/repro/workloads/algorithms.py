@@ -1,0 +1,339 @@
+"""Real quantum algorithm circuits.
+
+These are the "real algorithms" class of the paper's benchmark suite
+(circles in Figs. 3 and 5): GHZ/W state preparation, QFT, quantum phase
+estimation, Bernstein-Vazirani, Deutsch-Jozsa, Grover search and
+hardware-efficient VQE ansatze.  Their interaction graphs are structured
+(chains, stars, complete-but-weighted hierarchies), in contrast to random
+circuits of the same size parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..circuit import Circuit
+
+__all__ = [
+    "ghz_state",
+    "w_state",
+    "qft",
+    "inverse_qft",
+    "quantum_phase_estimation",
+    "bernstein_vazirani",
+    "deutsch_jozsa",
+    "grover",
+    "vqe_ansatz",
+    "quantum_volume",
+]
+
+
+def ghz_state(num_qubits: int) -> Circuit:
+    """GHZ preparation: H then a CNOT chain (interaction graph = path)."""
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}q")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def w_state(num_qubits: int) -> Circuit:
+    """W-state preparation via the cascade of controlled rotations.
+
+    Starts with the excitation on qubit 0 and peels off amplitude
+    ``1/sqrt(n)`` at each position: at step ``i`` a controlled-RY with
+    ``theta_i = 2*acos(1/sqrt(n - i))`` splits the excitation and a CNOT
+    moves the remainder one qubit down the chain.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(num_qubits, name=f"w_{num_qubits}q")
+    circuit.x(0)
+    for i in range(num_qubits - 1):
+        theta = 2.0 * math.acos(1.0 / math.sqrt(num_qubits - i))
+        circuit.add("cry", i, i + 1, params=(theta,))
+        circuit.cx(i + 1, i)
+    return circuit
+
+
+def qft(num_qubits: int, do_swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform.
+
+    Hadamard plus a cascade of controlled-phase gates with geometrically
+    decreasing angles; optionally the final qubit-order reversing SWAPs.
+    The interaction graph is complete, but with strongly *non-uniform*
+    weights — each pair interacts exactly once (plus swap chains).
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}q")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(angle, control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def inverse_qft(num_qubits: int, do_swaps: bool = True) -> Circuit:
+    """Adjoint of :func:`qft`."""
+    circuit = qft(num_qubits, do_swaps=do_swaps).inverse()
+    circuit.name = f"iqft_{num_qubits}q"
+    return circuit
+
+
+def quantum_phase_estimation(
+    num_counting_qubits: int, phase: float = 1.0 / 8.0
+) -> Circuit:
+    """Textbook QPE of the single-qubit phase gate ``p(2*pi*phase)``.
+
+    Uses ``num_counting_qubits`` counting qubits plus one eigenstate qubit
+    (prepared in |1>, the eigenstate of the phase gate).
+    """
+    if num_counting_qubits < 1:
+        raise ValueError("need at least one counting qubit")
+    n = num_counting_qubits
+    circuit = Circuit(n + 1, name=f"qpe_{n}q")
+    target = n
+    circuit.x(target)
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        # Counting qubit q controls U^(2^(n-1-q)).
+        repetitions = 2 ** (n - 1 - q)
+        circuit.cp(2.0 * math.pi * phase * repetitions, q, target)
+    iqft = inverse_qft(n)
+    for gate in iqft:
+        circuit.append(gate)
+    for q in range(n):
+        circuit.measure(q)
+    return circuit
+
+
+def bernstein_vazirani(secret: Sequence[int]) -> Circuit:
+    """Bernstein-Vazirani for the given secret bit string.
+
+    ``n`` data qubits plus one oracle ancilla; the oracle is a CNOT fan-in
+    from every set secret bit, so the interaction graph is a star rooted
+    at the ancilla.
+    """
+    n = len(secret)
+    if n < 1:
+        raise ValueError("secret must be non-empty")
+    if any(bit not in (0, 1) for bit in secret):
+        raise ValueError("secret must be a bit string")
+    circuit = Circuit(n + 1, name=f"bv_{n}q")
+    ancilla = n
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q in range(n):
+        circuit.h(q)
+    for q, bit in enumerate(secret):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(n):
+        circuit.h(q)
+        circuit.measure(q)
+    # Return the ancilla from |-> to |0> so the full register is classical.
+    circuit.h(ancilla)
+    circuit.x(ancilla)
+    return circuit
+
+
+def deutsch_jozsa(num_qubits: int, balanced: bool = True) -> Circuit:
+    """Deutsch-Jozsa with a parity (balanced) or identity (constant) oracle."""
+    if num_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    circuit = Circuit(num_qubits + 1, name=f"dj_{num_qubits}q")
+    ancilla = num_qubits
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for q in range(num_qubits):
+        circuit.h(q)
+    if balanced:
+        for q in range(num_qubits):
+            circuit.cx(q, ancilla)
+    for q in range(num_qubits):
+        circuit.h(q)
+        circuit.measure(q)
+    circuit.h(ancilla)
+    circuit.x(ancilla)
+    return circuit
+
+
+def _multi_controlled_z(
+    circuit: Circuit, controls: List[int], target: int, ancillas: List[int]
+) -> None:
+    """Apply Z on ``target`` controlled on every qubit in ``controls``.
+
+    Uses the Toffoli V-chain into ``ancillas`` (``len(controls) - 1``
+    ancillas required for more than two controls), then uncomputes.
+    """
+    if not controls:
+        circuit.z(target)
+        return
+    if len(controls) == 1:
+        circuit.cz(controls[0], target)
+        return
+    if len(controls) == 2:
+        circuit.ccz(controls[0], controls[1], target)
+        return
+    needed = len(controls) - 2
+    if len(ancillas) < needed:
+        raise ValueError(f"{needed} ancillas required, got {len(ancillas)}")
+    chain = []
+    circuit.ccx(controls[0], controls[1], ancillas[0])
+    chain.append((controls[0], controls[1], ancillas[0]))
+    for i in range(2, len(controls) - 1):
+        circuit.ccx(controls[i], ancillas[i - 2], ancillas[i - 1])
+        chain.append((controls[i], ancillas[i - 2], ancillas[i - 1]))
+    circuit.ccz(controls[-1], ancillas[needed - 1], target)
+    for a, b, c in reversed(chain):
+        circuit.ccx(a, b, c)
+
+
+def grover(
+    num_qubits: int,
+    marked: Optional[Sequence[int]] = None,
+    iterations: Optional[int] = None,
+) -> Circuit:
+    """Grover search over ``num_qubits`` data qubits for one marked item.
+
+    The phase oracle flips the sign of the ``marked`` basis state (default
+    all-ones) and the diffuser inverts about the mean.  Multi-controlled
+    phases use a Toffoli V-chain, adding ``max(0, num_qubits - 3)``
+    ancilla qubits.  The iteration count defaults to the optimal
+    ``round(pi/4 * sqrt(2^n))``.
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover needs at least two data qubits")
+    if marked is None:
+        marked = [1] * num_qubits
+    if len(marked) != num_qubits or any(b not in (0, 1) for b in marked):
+        raise ValueError("marked must be a bit string of the data width")
+    if iterations is None:
+        # floor(pi/4 sqrt(N)): rounding up over-rotates small instances
+        # (N=4 reaches certainty after exactly one iteration).
+        iterations = max(1, int(math.pi / 4.0 * math.sqrt(2 ** num_qubits)))
+    num_ancillas = max(0, num_qubits - 3)
+    total = num_qubits + num_ancillas
+    circuit = Circuit(total, name=f"grover_{num_qubits}q")
+    data = list(range(num_qubits))
+    ancillas = list(range(num_qubits, total))
+    for q in data:
+        circuit.h(q)
+    for _ in range(iterations):
+        # Oracle: phase-flip the marked state.
+        for q, bit in enumerate(marked):
+            if not bit:
+                circuit.x(q)
+        _multi_controlled_z(circuit, data[:-1], data[-1], ancillas)
+        for q, bit in enumerate(marked):
+            if not bit:
+                circuit.x(q)
+        # Diffuser: H X (multi-controlled Z) X H.
+        for q in data:
+            circuit.h(q)
+            circuit.x(q)
+        _multi_controlled_z(circuit, data[:-1], data[-1], ancillas)
+        for q in data:
+            circuit.x(q)
+            circuit.h(q)
+    for q in data:
+        circuit.measure(q)
+    return circuit
+
+
+def vqe_ansatz(
+    num_qubits: int,
+    num_layers: int = 2,
+    entanglement: str = "linear",
+    seed: Optional[int] = None,
+) -> Circuit:
+    """Hardware-efficient VQE ansatz (RY+RZ layers with CX entanglers).
+
+    ``entanglement`` selects the entangling pattern: ``"linear"`` couples
+    neighbours on a chain, ``"circular"`` closes the chain, ``"full"``
+    couples all pairs (each once per layer).
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if entanglement not in ("linear", "circular", "full"):
+        raise ValueError("entanglement must be linear, circular or full")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"vqe_{num_qubits}q_l{num_layers}")
+
+    def rotation_layer() -> None:
+        for q in range(num_qubits):
+            circuit.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            circuit.rz(float(rng.uniform(0, 2 * math.pi)), q)
+
+    rotation_layer()
+    for _ in range(num_layers):
+        if entanglement == "full":
+            pairs = [
+                (a, b)
+                for a in range(num_qubits)
+                for b in range(a + 1, num_qubits)
+            ]
+        else:
+            pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+            if entanglement == "circular" and num_qubits > 2:
+                pairs.append((num_qubits - 1, 0))
+        for a, b in pairs:
+            circuit.cx(a, b)
+        rotation_layer()
+    return circuit
+
+
+def quantum_volume(
+    num_qubits: int,
+    depth: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Circuit:
+    """Quantum-volume-style model circuit (IBM QV benchmark family).
+
+    Each of ``depth`` layers draws a random qubit permutation, pairs the
+    qubits up and applies a random entangling block per pair (two CNOTs
+    sandwiched between Haar-ish random ``u3`` rotations — the standard
+    SU(4)-approximating template).  ``depth`` defaults to ``num_qubits``
+    (square circuits, as the QV protocol prescribes).
+
+    Its interaction graph approaches full connectivity with near-uniform
+    weights, so QV circuits profile like the paper's hard synthetic
+    class while being a "real" community benchmark.
+    """
+    if num_qubits < 2:
+        raise ValueError("quantum volume needs at least two qubits")
+    if depth is None:
+        depth = num_qubits
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"qv_{num_qubits}q_d{depth}")
+
+    def random_u3(q: int) -> None:
+        theta, phi, lam = rng.uniform(0, 2 * math.pi, size=3)
+        circuit.u3(float(theta), float(phi), float(lam), q)
+
+    for _ in range(depth):
+        order = rng.permutation(num_qubits)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = int(order[i]), int(order[i + 1])
+            random_u3(a)
+            random_u3(b)
+            circuit.cx(a, b)
+            random_u3(a)
+            random_u3(b)
+            circuit.cx(a, b)
+            random_u3(a)
+            random_u3(b)
+    return circuit

@@ -1,0 +1,84 @@
+"""Benchmark-corpus I/O: persist suites as OpenQASM directories.
+
+The paper's qbench suite ships as a directory of QASM files.  This module
+round-trips our generated suites through the same representation — a
+directory of ``.qasm`` files plus a ``manifest.tsv`` recording each
+circuit's family and name — so suites can be archived, diffed against
+other tools and re-read without regeneration.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from ..circuit import parse_qasm, to_qasm
+from .suite import BenchmarkCircuit, FAMILIES
+
+__all__ = ["save_suite", "load_suite", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.tsv"
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _file_name(index: int, benchmark: BenchmarkCircuit) -> str:
+    stem = _SAFE_NAME.sub("_", benchmark.circuit.name or benchmark.source or "circuit")
+    return f"{index:04d}_{stem}.qasm"
+
+
+def save_suite(
+    suite: Sequence[BenchmarkCircuit], directory: Union[str, Path]
+) -> List[Path]:
+    """Write a suite to ``directory`` (one QASM file each + manifest).
+
+    The directory is created if needed; existing files are overwritten.
+    Returns the written circuit paths (manifest excluded).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    manifest_rows = ["index\tfile\tfamily\tname"]
+    for index, benchmark in enumerate(suite):
+        name = _file_name(index, benchmark)
+        path = directory / name
+        path.write_text(to_qasm(benchmark.circuit))
+        paths.append(path)
+        manifest_rows.append(
+            f"{index}\t{name}\t{benchmark.family}\t{benchmark.source}"
+        )
+    (directory / MANIFEST_NAME).write_text("\n".join(manifest_rows) + "\n")
+    return paths
+
+
+def load_suite(directory: Union[str, Path]) -> List[BenchmarkCircuit]:
+    """Read a suite written by :func:`save_suite`.
+
+    Raises
+    ------
+    FileNotFoundError
+        When the directory or its manifest is missing.
+    ValueError
+        On malformed manifest rows or unknown families.
+    """
+    directory = Path(directory)
+    manifest = directory / MANIFEST_NAME
+    if not manifest.is_file():
+        raise FileNotFoundError(f"no {MANIFEST_NAME} in {directory}")
+    suite: List[BenchmarkCircuit] = []
+    lines = manifest.read_text().splitlines()
+    for line_number, row in enumerate(lines[1:], start=2):
+        if not row.strip():
+            continue
+        parts = row.split("\t")
+        if len(parts) != 4:
+            raise ValueError(f"{manifest}:{line_number}: malformed row {row!r}")
+        _, file_name, family, name = parts
+        if family not in FAMILIES:
+            raise ValueError(
+                f"{manifest}:{line_number}: unknown family {family!r}"
+            )
+        circuit = parse_qasm((directory / file_name).read_text())
+        circuit.name = name
+        suite.append(BenchmarkCircuit(circuit, family, name))
+    return suite

@@ -1,0 +1,122 @@
+"""Mirror-circuit benchmarks (application-oriented device benchmarking).
+
+The paper cites application-oriented benchmark efforts (Lubinski et al.,
+Mills et al.) among the works motivating deeper circuit characterisation.
+Mirror circuits are their workhorse: run a circuit, a random Pauli
+frame, then the circuit's inverse — the ideal output is a *known
+computational basis state*, so success probability is directly
+measurable on hardware (or our noisy simulator) without classical
+simulation of the circuit itself.
+
+``mirror_circuit`` builds the benchmark; ``mirror_expected_bits``
+predicts the ideal outcome; ``mirror_success_probability`` scores a
+measurement histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate
+
+__all__ = [
+    "mirror_circuit",
+    "mirror_expected_bits",
+    "mirror_success_probability",
+]
+
+
+def _random_pauli_frame(
+    num_qubits: int, rng: np.random.Generator
+) -> List[Gate]:
+    """One random X/Z-layer Pauli per qubit (identity allowed)."""
+    frame = []
+    for q in range(num_qubits):
+        choice = int(rng.integers(4))
+        if choice:
+            frame.append(Gate(("x", "y", "z")[choice - 1], (q,)))
+    return frame
+
+
+def mirror_circuit(
+    base: Circuit,
+    seed: Optional[int] = None,
+    name: str = "",
+    frame: str = "end",
+) -> Circuit:
+    """Build the mirror benchmark of ``base``.
+
+    Structure: ``base``, ``base`` inverted, and a random Pauli frame,
+    then a measurement of every qubit.  The unitary part composes to a
+    bare Pauli string, so on the |0...0> input the ideal output is the
+    single basis state :func:`mirror_expected_bits` computes — the
+    benchmark is self-verifying without simulating ``base``.
+
+    Parameters
+    ----------
+    base:
+        Measurement-free circuit to mirror.
+    frame:
+        Where the random Pauli frame sits:
+
+        * ``"end"`` (default) — after the inverse; valid for *any* base
+          circuit,
+        * ``"middle"`` — between ``base`` and its inverse, the classic
+          randomised-mirroring position; the conjugated Pauli is only a
+          Pauli again when ``base`` is a Clifford circuit, so the ideal
+          output is only guaranteed to be a basis state then.
+    """
+    if any(g.name in ("measure", "reset") for g in base):
+        raise ValueError("mirror circuits need a measurement-free base")
+    if frame not in ("end", "middle"):
+        raise ValueError("frame must be 'end' or 'middle'")
+    rng = np.random.default_rng(seed)
+    mirrored = Circuit(
+        base.num_qubits, name=name or f"mirror_{base.name or 'circuit'}"
+    )
+    paulis = _random_pauli_frame(base.num_qubits, rng)
+    for gate in base:
+        mirrored.append(gate)
+    if frame == "middle":
+        for pauli in paulis:
+            mirrored.append(pauli)
+    for gate in base.inverse():
+        mirrored.append(gate)
+    if frame == "end":
+        for pauli in paulis:
+            mirrored.append(pauli)
+    mirrored.measure_all()
+    return mirrored
+
+
+def mirror_expected_bits(mirrored: Circuit) -> str:
+    """The ideal (noise-free) measurement outcome of a mirror circuit.
+
+    Computed with the state-vector oracle on the unitary part; the
+    result is guaranteed to be a single basis state (asserted), returned
+    as a bit string with qubit 0 leftmost.
+    """
+    from ..sim.statevector import statevector
+
+    amplitudes = statevector(mirrored.without_directives()).reshape(-1)
+    probabilities = np.abs(amplitudes) ** 2
+    winner = int(np.argmax(probabilities))
+    if probabilities[winner] < 1.0 - 1e-6:
+        raise ValueError(
+            "circuit is not a valid mirror benchmark (ideal output is "
+            "not a basis state)"
+        )
+    return format(winner, f"0{mirrored.num_qubits}b")
+
+
+def mirror_success_probability(
+    counts: Dict[str, int], expected_bits: str
+) -> float:
+    """Fraction of shots that produced the ideal outcome."""
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("empty measurement histogram")
+    return counts.get(expected_bits, 0) / total

@@ -1,0 +1,144 @@
+"""Synthetic (random) benchmark circuits.
+
+Random circuits are the "synthetic" class of the paper's benchmark suite
+(squares in Figs. 3 and 5).  They are parameterised by exactly the three
+classical size parameters — qubit count, gate count and two-qubit-gate
+fraction — and draw their interactions uniformly over all qubit pairs,
+which is what gives them the dense, near-uniform interaction graphs that
+Fig. 4 contrasts with real algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import Circuit
+from ..circuit.gates import Gate
+
+__all__ = [
+    "random_circuit",
+    "random_clifford_circuit",
+    "supremacy_style_circuit",
+]
+
+_DEFAULT_1Q = ("x", "y", "z", "h", "s", "t", "rx", "ry", "rz")
+_DEFAULT_2Q = ("cx", "cz")
+_PARAMETRIC = {"rx", "ry", "rz", "p", "cp", "crz", "rzz", "rxx"}
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float,
+    seed: Optional[int] = None,
+    one_qubit_gates: Sequence[str] = _DEFAULT_1Q,
+    two_qubit_gates: Sequence[str] = _DEFAULT_2Q,
+    name: str = "",
+) -> Circuit:
+    """Uniformly random circuit with exact size parameters.
+
+    Exactly ``round(num_gates * two_qubit_fraction)`` two-qubit gates are
+    placed (on uniformly random qubit pairs) and the remainder are
+    one-qubit gates on uniformly random qubits, in shuffled order.
+    Parametric gates draw angles uniformly from ``[0, 2*pi)``.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width; must be >= 2 whenever two-qubit gates are requested.
+    num_gates:
+        Total gate count of the result.
+    two_qubit_fraction:
+        Target share of two-qubit gates in ``[0, 1]``.
+    seed:
+        RNG seed for reproducibility.
+    """
+    if num_qubits < 1:
+        raise ValueError("random circuit needs at least one qubit")
+    if not 0.0 <= two_qubit_fraction <= 1.0:
+        raise ValueError("two_qubit_fraction must be within [0, 1]")
+    num_two = int(round(num_gates * two_qubit_fraction))
+    if num_two > 0 and num_qubits < 2:
+        raise ValueError("two-qubit gates need at least two qubits")
+    rng = np.random.default_rng(seed)
+    kinds = [2] * num_two + [1] * (num_gates - num_two)
+    rng.shuffle(kinds)
+    circuit = Circuit(
+        num_qubits, name=name or f"random_{num_qubits}q_{num_gates}g"
+    )
+    for kind in kinds:
+        if kind == 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            gate_name = str(rng.choice(two_qubit_gates))
+            qubits: Tuple[int, ...] = (int(a), int(b))
+        else:
+            gate_name = str(rng.choice(one_qubit_gates))
+            qubits = (int(rng.integers(num_qubits)),)
+        params: Tuple[float, ...] = ()
+        if gate_name in _PARAMETRIC:
+            params = (float(rng.uniform(0.0, 2.0 * math.pi)),)
+        circuit.append(Gate(gate_name, qubits, params))
+    return circuit
+
+
+def random_clifford_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.3,
+    seed: Optional[int] = None,
+) -> Circuit:
+    """Random circuit restricted to Clifford gates (H, S, X, Y, Z, CX, CZ)."""
+    return random_circuit(
+        num_qubits,
+        num_gates,
+        two_qubit_fraction,
+        seed=seed,
+        one_qubit_gates=("h", "s", "sdg", "x", "y", "z"),
+        two_qubit_gates=("cx", "cz"),
+        name=f"clifford_{num_qubits}q_{num_gates}g",
+    )
+
+
+def supremacy_style_circuit(
+    rows: int,
+    cols: int,
+    depth: int,
+    seed: Optional[int] = None,
+) -> Circuit:
+    """Google-supremacy-style layered random circuit on a virtual grid.
+
+    Alternates a layer of random sqrt-gates (sx / "sy" / t) on every qubit
+    with a layer of CZ gates along one of four grid-edge orientations,
+    cycling orientations per layer — the structure of the Sycamore
+    benchmark circuits, here over ``rows*cols`` virtual qubits.  Unlike
+    :func:`random_circuit` its interaction graph is a sparse grid, so it
+    profiles like a "real" structured workload despite being random.
+    """
+    if rows < 1 or cols < 1 or depth < 1:
+        raise ValueError("rows, cols and depth must be positive")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    circuit = Circuit(n, name=f"supremacy_{rows}x{cols}_d{depth}")
+    for q in range(n):
+        circuit.h(q)
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    orientations: List[List[Tuple[int, int]]] = [[], [], [], []]
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                orientations[2 * (c % 2)].append((node(r, c), node(r, c + 1)))
+            if r + 1 < rows:
+                orientations[1 + 2 * (r % 2)].append((node(r, c), node(r + 1, c)))
+    one_qubit_pool = ("sx", "t", "h")
+    for layer in range(depth):
+        for q in range(n):
+            circuit.add(str(rng.choice(one_qubit_pool)), q)
+        for a, b in orientations[layer % 4]:
+            circuit.cz(a, b)
+    return circuit

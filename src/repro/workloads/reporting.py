@@ -1,0 +1,119 @@
+"""Benchmark-suite composition reports.
+
+Summarises a suite's population the way benchmark-suite papers (and the
+paper's own Sec. IV description of the qbench set) do: per-family counts
+and the distributions of the three common size parameters, rendered as
+aligned text with small inline histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..circuit import size_parameters
+from .suite import BenchmarkCircuit, FAMILIES
+
+__all__ = ["SuiteSummary", "summarize_suite", "format_suite_summary"]
+
+_BAR_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class SuiteSummary:
+    """Aggregate statistics of a benchmark suite.
+
+    Attributes
+    ----------
+    num_circuits / family_counts:
+        Population size and its per-family split.
+    qubit_stats / gate_stats / two_qubit_percent_stats:
+        ``(min, median, mean, max)`` of each size parameter.
+    qubit_values / gate_values / two_qubit_percent_values:
+        The raw per-circuit values (for custom analysis/plots).
+    """
+
+    num_circuits: int
+    family_counts: Dict[str, int]
+    qubit_stats: Tuple[float, float, float, float]
+    gate_stats: Tuple[float, float, float, float]
+    two_qubit_percent_stats: Tuple[float, float, float, float]
+    qubit_values: Tuple[int, ...]
+    gate_values: Tuple[int, ...]
+    two_qubit_percent_values: Tuple[float, ...]
+
+    def covers(self, min_qubits: int, max_qubits: int) -> bool:
+        """True when the population spans the given qubit range."""
+        return (
+            min(self.qubit_values) <= min_qubits
+            and max(self.qubit_values) >= max_qubits
+        )
+
+
+def _stats(values: Sequence[float]) -> Tuple[float, float, float, float]:
+    array = np.asarray(values, dtype=float)
+    return (
+        float(array.min()),
+        float(np.median(array)),
+        float(array.mean()),
+        float(array.max()),
+    )
+
+
+def summarize_suite(suite: Sequence[BenchmarkCircuit]) -> SuiteSummary:
+    """Compute a :class:`SuiteSummary` for a non-empty suite."""
+    if not suite:
+        raise ValueError("cannot summarise an empty suite")
+    params = [size_parameters(b.circuit) for b in suite]
+    qubits = tuple(p.num_qubits for p in params)
+    gates = tuple(p.num_gates for p in params)
+    two_q = tuple(p.two_qubit_percentage for p in params)
+    return SuiteSummary(
+        num_circuits=len(suite),
+        family_counts=dict(Counter(b.family for b in suite)),
+        qubit_stats=_stats(qubits),
+        gate_stats=_stats(gates),
+        two_qubit_percent_stats=_stats(two_q),
+        qubit_values=qubits,
+        gate_values=gates,
+        two_qubit_percent_values=two_q,
+    )
+
+
+def _sparkline(values: Sequence[float], bins: int = 16) -> str:
+    """Unicode histogram sparkline of a value distribution."""
+    array = np.asarray(values, dtype=float)
+    if array.max() == array.min():
+        return _BAR_BLOCKS[-1] * 1
+    counts, _ = np.histogram(array, bins=bins)
+    top = counts.max()
+    indices = np.ceil(counts / top * (len(_BAR_BLOCKS) - 1)).astype(int)
+    return "".join(_BAR_BLOCKS[i] for i in indices)
+
+
+def format_suite_summary(summary: SuiteSummary) -> str:
+    """Render a summary as the suite-composition table."""
+    lines = [f"benchmark suite: {summary.num_circuits} circuits"]
+    families = ", ".join(
+        f"{family}: {summary.family_counts.get(family, 0)}"
+        for family in FAMILIES
+    )
+    lines.append(f"families: {families}")
+    rows = [
+        ("qubits", summary.qubit_stats, summary.qubit_values),
+        ("gates", summary.gate_stats, summary.gate_values),
+        ("2q-gate %", summary.two_qubit_percent_stats, summary.two_qubit_percent_values),
+    ]
+    lines.append(
+        f"{'parameter':10s} {'min':>8s} {'median':>8s} {'mean':>9s} "
+        f"{'max':>9s}  distribution"
+    )
+    for label, (low, median, mean, high), values in rows:
+        lines.append(
+            f"{label:10s} {low:8.1f} {median:8.1f} {mean:9.1f} {high:9.1f}  "
+            f"{_sparkline(values)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Reversible-logic benchmark circuits (RevLib-style Toffoli networks).
+
+The paper's benchmark suite includes "reversible ones [48]" — classical
+reversible functions realised over {X, CNOT, Toffoli}.  This module
+provides the classic arithmetic networks (Cuccaro ripple-carry adder,
+incrementer, parity) plus a generator of random Toffoli networks in the
+RevLib spirit.  All circuits here are purely classical-reversible, so
+their semantics can be verified on computational basis states.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuit import Circuit
+
+__all__ = [
+    "cuccaro_adder",
+    "parity_circuit",
+    "increment_circuit",
+    "majority_vote_circuit",
+    "random_reversible_circuit",
+]
+
+
+def cuccaro_adder(num_bits: int) -> Circuit:
+    """Cuccaro et al. ripple-carry adder: ``b := a + b (mod 2^n)`` + carry.
+
+    Register layout (total ``2*num_bits + 2`` qubits)::
+
+        0                carry-in  c0
+        1 .. n           b_0 .. b_{n-1}   (LSB first; receives the sum)
+        n+1 .. 2n        a_0 .. a_{n-1}
+        2n+1             carry-out z
+
+    Built from the MAJ / UMA blocks of the original paper; only X, CNOT
+    and Toffoli gates are used.
+    """
+    if num_bits < 1:
+        raise ValueError("adder needs at least one bit")
+    n = num_bits
+    total = 2 * n + 2
+    circuit = Circuit(total, name=f"cuccaro_adder_{n}b")
+    b = [1 + i for i in range(n)]
+    a = [n + 1 + i for i in range(n)]
+    z = 2 * n + 1
+
+    def maj(c: int, y: int, x: int) -> None:
+        circuit.cx(x, y)
+        circuit.cx(x, c)
+        circuit.ccx(c, y, x)
+
+    def uma(c: int, y: int, x: int) -> None:
+        circuit.ccx(c, y, x)
+        circuit.cx(x, c)
+        circuit.cx(c, y)
+
+    carries = [0] + a[:-1]
+    for i in range(n):
+        maj(carries[i], b[i], a[i])
+    circuit.cx(a[n - 1], z)
+    for i in reversed(range(n)):
+        uma(carries[i], b[i], a[i])
+    return circuit
+
+
+def parity_circuit(num_bits: int) -> Circuit:
+    """Compute the parity of ``num_bits`` inputs into one ancilla (CNOT fan-in)."""
+    if num_bits < 1:
+        raise ValueError("parity needs at least one bit")
+    circuit = Circuit(num_bits + 1, name=f"parity_{num_bits}b")
+    for q in range(num_bits):
+        circuit.cx(q, num_bits)
+    return circuit
+
+
+def _multi_controlled_x(
+    circuit: Circuit, controls: Sequence[int], target: int, ancillas: Sequence[int]
+) -> None:
+    """X on ``target`` controlled on all of ``controls`` (Toffoli V-chain)."""
+    controls = list(controls)
+    if not controls:
+        circuit.x(target)
+        return
+    if len(controls) == 1:
+        circuit.cx(controls[0], target)
+        return
+    if len(controls) == 2:
+        circuit.ccx(controls[0], controls[1], target)
+        return
+    needed = len(controls) - 2
+    if len(ancillas) < needed:
+        raise ValueError(f"{needed} ancillas required, got {len(ancillas)}")
+    chain = [(controls[0], controls[1], ancillas[0])]
+    circuit.ccx(*chain[0])
+    for i in range(2, len(controls) - 1):
+        step = (controls[i], ancillas[i - 2], ancillas[i - 1])
+        circuit.ccx(*step)
+        chain.append(step)
+    circuit.ccx(controls[-1], ancillas[needed - 1], target)
+    for step in reversed(chain):
+        circuit.ccx(*step)
+
+
+def increment_circuit(num_bits: int) -> Circuit:
+    """``x := x + 1 (mod 2^n)`` on an LSB-first register.
+
+    Bit ``i`` flips when all lower bits are 1, so the circuit is a cascade
+    of multi-controlled X gates from the top down; ``max(0, n - 3)``
+    ancilla qubits are appended for the Toffoli V-chains.
+    """
+    if num_bits < 1:
+        raise ValueError("incrementer needs at least one bit")
+    n = num_bits
+    num_ancillas = max(0, n - 3)
+    circuit = Circuit(n + num_ancillas, name=f"increment_{n}b")
+    ancillas = list(range(n, n + num_ancillas))
+    for target in reversed(range(n)):
+        _multi_controlled_x(circuit, list(range(target)), target, ancillas)
+    return circuit
+
+
+def majority_vote_circuit(num_voters: int = 3) -> Circuit:
+    """Majority-of-three style voting network into an output ancilla.
+
+    For the classic ``num_voters = 3`` case the output qubit receives
+    MAJ(a, b, c) = ab xor ac xor bc; larger odd voter counts chain the
+    pairwise products.
+    """
+    if num_voters < 3 or num_voters % 2 == 0:
+        raise ValueError("need an odd number of voters >= 3")
+    output = num_voters
+    circuit = Circuit(num_voters + 1, name=f"majority_{num_voters}")
+    for i in range(num_voters):
+        for j in range(i + 1, num_voters):
+            circuit.ccx(i, j, output)
+    return circuit
+
+
+def random_reversible_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: Optional[int] = None,
+    toffoli_fraction: float = 0.3,
+    cnot_fraction: float = 0.4,
+) -> Circuit:
+    """Random Toffoli network over {X, CNOT, Toffoli} (RevLib flavour).
+
+    Gate kinds are drawn with the given fractions (remainder are X gates);
+    operands are uniform without replacement.  Circuits with fewer than
+    three qubits degrade Toffolis to CNOTs, and fewer than two degrade
+    everything to X.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if toffoli_fraction + cnot_fraction > 1.0:
+        raise ValueError("gate fractions exceed 1")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"revnet_{num_qubits}q_{num_gates}g")
+    for _ in range(num_gates):
+        draw = rng.random()
+        if draw < toffoli_fraction and num_qubits >= 3:
+            a, b, c = (int(q) for q in rng.choice(num_qubits, 3, replace=False))
+            circuit.ccx(a, b, c)
+        elif draw < toffoli_fraction + cnot_fraction and num_qubits >= 2:
+            a, b = (int(q) for q in rng.choice(num_qubits, 2, replace=False))
+            circuit.cx(a, b)
+        else:
+            circuit.x(int(rng.integers(num_qubits)))
+    return circuit

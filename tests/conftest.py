@@ -1,0 +1,47 @@
+"""Shared fixtures for the test-suite."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.hardware import (
+    all_to_all_device,
+    grid_device,
+    line_device,
+    surface17_device,
+    surface7_device,
+)
+
+
+@pytest.fixture(scope="session")
+def dev7():
+    return surface7_device()
+
+
+@pytest.fixture(scope="session")
+def dev17():
+    return surface17_device()
+
+
+@pytest.fixture(scope="session")
+def dev_line5():
+    return line_device(5)
+
+
+@pytest.fixture(scope="session")
+def dev_grid9():
+    return grid_device(3, 3)
+
+
+@pytest.fixture(scope="session")
+def dev_full6():
+    return all_to_all_device(6)
+
+
+@pytest.fixture()
+def bell_circuit():
+    return Circuit(2).h(0).cx(0, 1)
+
+
+@pytest.fixture()
+def ghz3_circuit():
+    return Circuit(3).h(0).cx(0, 1).cx(1, 2)

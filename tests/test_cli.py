@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.circuit import to_qasm
+from repro.cli import build_parser, main
+from repro.workloads import ghz_state, qft
+
+
+@pytest.fixture()
+def qasm_file(tmp_path):
+    path = tmp_path / "ghz4.qasm"
+    path.write_text(to_qasm(ghz_state(4)))
+    return str(path)
+
+
+class TestProfileCommand:
+    def test_profile_output(self, qasm_file, capsys):
+        assert main(["profile", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "ghz4" in out
+        assert "difficulty" in out
+
+    def test_multiple_files(self, qasm_file, tmp_path, capsys):
+        other = tmp_path / "qft3.qasm"
+        other.write_text(to_qasm(qft(3)))
+        assert main(["profile", qasm_file, str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "ghz4" in out and "qft3" in out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["profile", "/does/not/exist.qasm"])
+
+
+class TestMapCommand:
+    def test_map_default(self, qasm_file, capsys):
+        assert main(["map", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "mapper:" in out
+        assert "swaps:" in out
+        assert "fidelity:" in out
+
+    def test_map_with_verify_and_draw(self, qasm_file, capsys):
+        assert main(
+            ["map", qasm_file, "--device", "surface7", "--verify", "--draw"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified:      True" in out
+        assert "●" in out  # drawn circuit
+
+    def test_map_trivial(self, qasm_file, capsys):
+        assert main(["map", qasm_file, "--mapper", "trivial"]) == 0
+        assert "trivial" in capsys.readouterr().out
+
+    def test_map_advisor(self, qasm_file, capsys):
+        assert main(["map", qasm_file, "--mapper", "advisor"]) == 0
+        assert "advisor: difficulty" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "device", ["surface7", "surface100", "line:8", "grid:3x3", "surface:30"]
+    )
+    def test_device_specs(self, qasm_file, device, capsys):
+        assert main(["map", qasm_file, "--device", device]) == 0
+
+    def test_unknown_device(self, qasm_file):
+        with pytest.raises(SystemExit, match="unknown device"):
+            main(["map", qasm_file, "--device", "mystery"])
+
+
+class TestSuiteCommand:
+    def test_generate_corpus(self, tmp_path, capsys):
+        target = tmp_path / "corpus"
+        assert main(
+            ["suite", str(target), "--num", "5", "--max-qubits", "8",
+             "--max-gates", "60"]
+        ) == 0
+        assert "wrote 5 circuits" in capsys.readouterr().out
+        from repro.workloads import load_suite
+
+        assert len(load_suite(target)) == 5
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_flag(self):
+        args = build_parser().parse_args(["reproduce", "--full"])
+        assert args.full is True
+
+
+class TestReportCommand:
+    def test_corpus_to_report(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        assert main(
+            ["suite", str(corpus), "--num", "4", "--max-qubits", "8",
+             "--max-gates", "50"]
+        ) == 0
+        output = tmp_path / "report.md"
+        csv_path = tmp_path / "records.csv"
+        assert main(
+            [
+                "report",
+                str(corpus),
+                "--device",
+                "surface17",
+                "-o",
+                str(output),
+                "--csv",
+                str(csv_path),
+            ]
+        ) == 0
+        text = output.read_text()
+        assert text.startswith("# Mapping report")
+        assert "## Headline" in text
+        assert "## Per benchmark family" in text
+        assert csv_path.is_file()
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        main(["suite", str(corpus), "--num", "3", "--max-qubits", "6",
+              "--max-gates", "40"])
+        capsys.readouterr()
+        assert main(["report", str(corpus), "--device", "surface17"]) == 0
+        out = capsys.readouterr().out
+        assert "# Mapping report" in out

@@ -1,0 +1,177 @@
+"""Tests for device-config JSON I/O, suite reporting and BRIDGE routing."""
+
+import json
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import Layout, TrivialRouter
+from repro.hardware import (
+    Device,
+    SURFACE17_CALIBRATION,
+    device_from_json,
+    device_to_json,
+    line_device,
+    load_device,
+    save_device,
+    surface17_device,
+)
+from repro.sim import verify_mapping
+from repro.workloads import (
+    format_suite_summary,
+    small_suite,
+    summarize_suite,
+)
+
+
+class TestDeviceConfig:
+    def test_roundtrip_surface17(self):
+        device = surface17_device()
+        clone = device_from_json(device_to_json(device))
+        assert clone.coupling == device.coupling
+        assert clone.gate_set.gate_names == device.gate_set.gate_names
+        assert clone.calibration.two_qubit_error == pytest.approx(
+            device.calibration.two_qubit_error
+        )
+        assert clone.name == device.name
+
+    def test_roundtrip_with_overrides(self):
+        calibration = SURFACE17_CALIBRATION.with_qubit_error(2, 0.05)
+        calibration = calibration.with_edge_error(0, 3, 0.08)
+        device = Device(
+            surface17_device().coupling, calibration, surface17_device().gate_set
+        )
+        clone = device_from_json(device_to_json(device))
+        from repro.circuit import Gate
+
+        assert clone.calibration.gate_error(Gate("x", (2,))) == 0.05
+        assert clone.calibration.gate_error(Gate("cz", (3, 0))) == 0.08
+
+    def test_positions_preserved(self):
+        device = surface17_device()
+        clone = device_from_json(device_to_json(device))
+        assert clone.coupling.positions == device.coupling.positions
+
+    def test_file_roundtrip(self, tmp_path):
+        path = save_device(line_device(4), tmp_path / "line4.json")
+        device = load_device(path)
+        assert device.num_qubits == 4
+        assert device.coupling.diameter() == 3
+
+    def test_json_is_valid_and_readable(self):
+        payload = json.loads(device_to_json(line_device(3)))
+        assert payload["qubits"] == 3
+        assert payload["edges"] == [[0, 1], [1, 2]]
+        assert "calibration" in payload
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            device_from_json('{"qubits": 2}')
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="invalid device JSON"):
+            device_from_json("not json at all {")
+
+    def test_invalid_gate_name_rejected(self):
+        broken = json.loads(device_to_json(line_device(2)))
+        broken["gate_set"]["gates"] = ["teleport"]
+        with pytest.raises(ValueError, match="unknown gate kinds"):
+            device_from_json(json.dumps(broken))
+
+    def test_loaded_device_is_usable(self, tmp_path):
+        path = save_device(surface17_device(), tmp_path / "chip.json")
+        device = load_device(path)
+        from repro.compiler import trivial_mapper
+        from repro.workloads import ghz_state
+
+        result = trivial_mapper().map(ghz_state(4), device)
+        assert result.verify()
+
+
+class TestSuiteReporting:
+    def test_summary_counts(self):
+        suite = small_suite(9)
+        summary = summarize_suite(suite)
+        assert summary.num_circuits == 9
+        assert sum(summary.family_counts.values()) == 9
+
+    def test_stats_ordering(self):
+        summary = summarize_suite(small_suite(12))
+        for stats in (
+            summary.qubit_stats,
+            summary.gate_stats,
+            summary.two_qubit_percent_stats,
+        ):
+            low, median, mean, high = stats
+            assert low <= median <= high
+            assert low <= mean <= high
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_suite([])
+
+    def test_format(self):
+        text = format_suite_summary(summarize_suite(small_suite(8)))
+        assert "benchmark suite: 8 circuits" in text
+        assert "qubits" in text and "2q-gate %" in text
+
+    def test_covers(self):
+        summary = summarize_suite(small_suite(12))
+        assert summary.covers(
+            min(summary.qubit_values), max(summary.qubit_values)
+        )
+        assert not summary.covers(0, 10 ** 6)
+
+
+class TestBridgeRouting:
+    def test_distance2_cx_bridged(self):
+        device = line_device(3)
+        circuit = Circuit(3).cx(0, 2)
+        result = TrivialRouter(use_bridge=True).route(
+            circuit, device, Layout.trivial(3, 3)
+        )
+        assert result.swap_count == 0
+        assert result.initial_layout == result.final_layout
+        assert [g.name for g in result.circuit] == ["cx"] * 4
+        assert verify_mapping(
+            circuit, result.circuit, result.initial_layout, result.final_layout
+        )
+
+    def test_longer_distances_still_swap(self):
+        device = line_device(4)
+        circuit = Circuit(4).cx(0, 3)
+        result = TrivialRouter(use_bridge=True).route(
+            circuit, device, Layout.trivial(4, 4)
+        )
+        assert result.swap_count > 0
+        assert verify_mapping(
+            circuit, result.circuit, result.initial_layout, result.final_layout
+        )
+
+    def test_non_cx_gates_not_bridged(self):
+        device = line_device(3)
+        circuit = Circuit(3).cz(0, 2)
+        result = TrivialRouter(use_bridge=True).route(
+            circuit, device, Layout.trivial(3, 3)
+        )
+        assert result.swap_count == 1
+        assert verify_mapping(
+            circuit, result.circuit, result.initial_layout, result.final_layout
+        )
+
+    def test_bridge_off_by_default(self):
+        device = line_device(3)
+        result = TrivialRouter().route(
+            Circuit(3).cx(0, 2), device, Layout.trivial(3, 3)
+        )
+        assert result.swap_count == 1
+
+    def test_bridge_sequence_semantics(self):
+        device = line_device(3)
+        circuit = Circuit(3).h(0).cx(0, 2).h(2).cx(0, 2)
+        result = TrivialRouter(use_bridge=True).route(
+            circuit, device, Layout.trivial(3, 3)
+        )
+        assert verify_mapping(
+            circuit, result.circuit, result.initial_layout, result.final_layout
+        )

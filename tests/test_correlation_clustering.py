@@ -1,0 +1,193 @@
+"""Unit tests for the Pearson reduction and benchmark clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InteractionGraph,
+    PAPER_RETAINED_METRICS,
+    cluster_profiles,
+    compute_metrics,
+    hierarchical_labels,
+    kmeans,
+    pearson_matrix,
+    profile_suite,
+    reduce_metrics,
+    silhouette_score,
+    standardize_features,
+)
+from repro.workloads import small_suite
+
+
+def _metric_population(count=20, seed=0):
+    """Metric vectors from a spread of random interaction graphs."""
+    rng = np.random.default_rng(seed)
+    population = []
+    for _ in range(count):
+        n = int(rng.integers(4, 10))
+        graph = InteractionGraph(n)
+        pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+        rng.shuffle(pairs)
+        for a, b in pairs[: int(rng.integers(n - 1, len(pairs)))]:
+            graph.add_interaction(a, b, float(rng.integers(1, 6)))
+        population.append(compute_metrics(graph))
+    return population
+
+
+class TestPearsonMatrix:
+    def test_shape_and_diagonal(self):
+        names, matrix = pearson_matrix(_metric_population())
+        assert matrix.shape == (len(names), len(names))
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T, atol=1e-12)
+
+    def test_bounded(self):
+        _, matrix = pearson_matrix(_metric_population())
+        assert np.all(matrix <= 1.0) and np.all(matrix >= -1.0)
+
+    def test_perfectly_correlated_pair(self):
+        population = _metric_population()
+        names, matrix = pearson_matrix(
+            population, names=["adjacency_std", "adjacency_variance"]
+        )
+        # std and variance are monotonically related but not linearly;
+        # still strongly correlated on any real population.
+        assert matrix[0, 1] > 0.9
+
+    def test_constant_feature_correlates_zero(self):
+        population = _metric_population()
+        # 'connected' may vary; use a name guaranteed constant: craft one.
+        names, matrix = pearson_matrix(population, names=["num_edges", "connected"])
+        assert abs(matrix[0, 1]) <= 1.0  # well-defined, no NaN
+        assert not np.isnan(matrix).any()
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_matrix([])
+
+
+class TestReduction:
+    def test_retained_mutually_uncorrelated(self):
+        population = _metric_population(30)
+        reduction = reduce_metrics(population, threshold=0.85)
+        for i, a in enumerate(reduction.retained):
+            for b in reduction.retained[i + 1 :]:
+                assert abs(reduction.correlation(a, b)) < 0.85
+
+    def test_dropped_have_blockers(self):
+        reduction = reduce_metrics(_metric_population(30), threshold=0.85)
+        for name, (kept_by, r) in reduction.dropped.items():
+            if name != kept_by:  # constant features self-block
+                assert kept_by in reduction.retained
+                assert r >= 0.85
+
+    def test_preference_order_respected(self):
+        reduction = reduce_metrics(_metric_population(30))
+        # The paper's first retained metric is always kept (first candidate).
+        assert PAPER_RETAINED_METRICS[0] in reduction.retained
+
+    def test_threshold_monotonicity(self):
+        population = _metric_population(30)
+        loose = reduce_metrics(population, threshold=0.99)
+        strict = reduce_metrics(population, threshold=0.5)
+        assert len(strict.retained) <= len(loose.retained)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            reduce_metrics(_metric_population(), threshold=0.0)
+
+    def test_variance_and_std_never_both_kept(self):
+        reduction = reduce_metrics(_metric_population(30), threshold=0.9)
+        kept = set(reduction.retained)
+        assert not {"adjacency_std", "adjacency_variance"} <= kept
+
+
+class TestKmeans:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(0, 0.2, size=(20, 2))
+        blob_b = rng.normal(5, 0.2, size=(20, 2))
+        features = np.vstack([blob_a, blob_b])
+        labels, centroids = kmeans(features, 2, seed=1)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+        assert centroids.shape == (2, 2)
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 5)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_k_equals_n(self):
+        features = np.arange(6, dtype=float).reshape(3, 2)
+        labels, _ = kmeans(features, 3, seed=0)
+        assert len(set(labels)) == 3
+
+    def test_deterministic_with_seed(self):
+        rng = np.random.default_rng(1)
+        features = rng.normal(size=(30, 3))
+        a, _ = kmeans(features, 3, seed=7)
+        b, _ = kmeans(features, 3, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestSilhouetteAndHierarchical:
+    def test_silhouette_good_vs_bad(self):
+        rng = np.random.default_rng(0)
+        features = np.vstack(
+            [rng.normal(0, 0.1, (15, 2)), rng.normal(4, 0.1, (15, 2))]
+        )
+        good = np.array([0] * 15 + [1] * 15)
+        bad = np.array([0, 1] * 15)
+        assert silhouette_score(features, good) > 0.8
+        assert silhouette_score(features, bad) < 0.2
+
+    def test_silhouette_single_cluster_zero(self):
+        assert silhouette_score(np.zeros((5, 2)), np.zeros(5)) == 0.0
+
+    def test_hierarchical_blobs(self):
+        rng = np.random.default_rng(2)
+        features = np.vstack(
+            [rng.normal(0, 0.1, (10, 2)), rng.normal(3, 0.1, (10, 2))]
+        )
+        labels = hierarchical_labels(features, 2)
+        assert len(set(labels[:10])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_standardize(self):
+        features = np.array([[1.0, 10.0], [3.0, 10.0], [5.0, 10.0]])
+        scaled = standardize_features(features)
+        assert scaled[:, 0].mean() == pytest.approx(0.0)
+        assert scaled[:, 0].std() == pytest.approx(1.0)
+        # Constant column untouched (no division by zero).
+        assert np.allclose(scaled[:, 1], 0.0)
+
+
+class TestClusterProfiles:
+    def test_end_to_end(self):
+        profiles = profile_suite(small_suite(12))
+        result = cluster_profiles(profiles, k=3, seed=0)
+        assert len(result.labels) == 12
+        assert 1 <= result.num_clusters <= 3
+        assert -1.0 <= result.silhouette <= 1.0
+        members = sum(len(result.members(c)) for c in set(result.labels))
+        assert members == 12
+
+    def test_hierarchical_method(self):
+        profiles = profile_suite(small_suite(9))
+        result = cluster_profiles(profiles, k=2, method="hierarchical")
+        assert result.num_clusters <= 2
+
+    def test_unknown_method(self):
+        profiles = profile_suite(small_suite(6))
+        with pytest.raises(ValueError):
+            cluster_profiles(profiles, method="psychic")
+
+    def test_custom_features(self):
+        profiles = profile_suite(small_suite(8))
+        result = cluster_profiles(
+            profiles, k=2, feature_names=["max_degree", "num_gates"]
+        )
+        assert result.feature_names == ["max_degree", "num_gates"]

@@ -1,0 +1,121 @@
+"""Unit tests for the crosstalk model (scheduling constraint + fidelity)."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import asap_schedule
+from repro.hardware import (
+    IDEAL_CALIBRATION,
+    SURFACE17_CALIBRATION,
+    line_device,
+    Calibration,
+)
+from repro.metrics import crosstalk_fidelity, crosstalk_overlaps, product_fidelity
+
+
+@pytest.fixture()
+def line4():
+    return line_device(4)
+
+
+def parallel_adjacent_circuit():
+    # cz(0,1) and cz(2,3) share no qubit but their edges are adjacent
+    # through the (1,2) coupling, so they crosstalk on a line.
+    return Circuit(4).cz(0, 1).cz(2, 3)
+
+
+class TestCrosstalkCounting:
+    def test_adjacent_concurrent_pair_counted(self, line4):
+        schedule = asap_schedule(parallel_adjacent_circuit())
+        assert crosstalk_overlaps(schedule, line4.coupling) == 1
+
+    def test_far_pairs_not_counted(self):
+        device = line_device(6)
+        # edges (0,1) and (4,5): separated by two idle qubits.
+        schedule = asap_schedule(Circuit(6).cz(0, 1).cz(4, 5))
+        assert crosstalk_overlaps(schedule, device.coupling) == 0
+
+    def test_sequential_gates_not_counted(self, line4):
+        # same qubits force sequential execution: no overlap.
+        schedule = asap_schedule(Circuit(4).cz(0, 1).cz(1, 2))
+        assert crosstalk_overlaps(schedule, line4.coupling) == 0
+
+    def test_one_qubit_gates_ignored(self, line4):
+        schedule = asap_schedule(Circuit(4).h(0).h(1).cz(2, 3))
+        assert crosstalk_overlaps(schedule, line4.coupling) == 0
+
+
+class TestCrosstalkFreeScheduling:
+    def test_conflicting_gates_serialised(self, line4):
+        circuit = parallel_adjacent_circuit()
+        free = asap_schedule(circuit)
+        mitigated = asap_schedule(
+            circuit, coupling=line4.coupling, crosstalk_free=True
+        )
+        assert crosstalk_overlaps(free, line4.coupling) == 1
+        assert crosstalk_overlaps(mitigated, line4.coupling) == 0
+        assert mitigated.latency_ns > free.latency_ns
+
+    def test_non_conflicting_gates_untouched(self):
+        device = line_device(6)
+        circuit = Circuit(6).cz(0, 1).cz(4, 5)
+        free = asap_schedule(circuit)
+        mitigated = asap_schedule(
+            circuit, coupling=device.coupling, crosstalk_free=True
+        )
+        assert mitigated.latency_ns == free.latency_ns
+
+    def test_requires_coupling(self):
+        with pytest.raises(ValueError, match="coupling"):
+            asap_schedule(parallel_adjacent_circuit(), crosstalk_free=True)
+
+    def test_combined_with_control_limit(self, line4):
+        circuit = parallel_adjacent_circuit()
+        schedule = asap_schedule(
+            circuit,
+            max_parallel_2q=1,
+            coupling=line4.coupling,
+            crosstalk_free=True,
+        )
+        assert crosstalk_overlaps(schedule, line4.coupling) == 0
+
+
+class TestCrosstalkFidelity:
+    def test_penalty_applied(self, line4):
+        circuit = parallel_adjacent_circuit()
+        schedule = asap_schedule(circuit)
+        base = product_fidelity(circuit)
+        with_crosstalk = crosstalk_fidelity(schedule, line4.coupling)
+        expected = base * (1 - SURFACE17_CALIBRATION.crosstalk_error)
+        assert with_crosstalk == pytest.approx(expected)
+
+    def test_mitigated_schedule_has_no_penalty(self, line4):
+        circuit = parallel_adjacent_circuit()
+        mitigated = asap_schedule(
+            circuit, coupling=line4.coupling, crosstalk_free=True
+        )
+        assert crosstalk_fidelity(mitigated, line4.coupling) == pytest.approx(
+            product_fidelity(circuit)
+        )
+
+    def test_trade_off_direction(self, line4):
+        """Mitigation must increase fidelity and latency simultaneously."""
+        circuit = parallel_adjacent_circuit()
+        free = asap_schedule(circuit)
+        mitigated = asap_schedule(
+            circuit, coupling=line4.coupling, crosstalk_free=True
+        )
+        assert crosstalk_fidelity(mitigated, line4.coupling) > crosstalk_fidelity(
+            free, line4.coupling
+        )
+        assert mitigated.latency_ns > free.latency_ns
+
+    def test_calibration_field_validated(self):
+        with pytest.raises(ValueError):
+            Calibration(crosstalk_error=1.2)
+
+    def test_ideal_has_no_crosstalk(self, line4):
+        schedule = asap_schedule(parallel_adjacent_circuit())
+        assert crosstalk_fidelity(
+            schedule, line4.coupling, IDEAL_CALIBRATION
+        ) == pytest.approx(1.0)

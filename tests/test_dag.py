@@ -1,0 +1,96 @@
+"""Unit tests for the dependency DAG (repro.circuit.dag)."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitDag, ExecutionFrontier
+
+
+def chain():
+    return Circuit(3).h(0).cx(0, 1).cx(1, 2)
+
+
+class TestCircuitDag:
+    def test_chain_dependencies(self):
+        dag = CircuitDag(chain())
+        assert dag.predecessors(0) == ()
+        assert dag.predecessors(1) == (0,)
+        assert dag.predecessors(2) == (1,)
+        assert dag.successors(0) == (1,)
+
+    def test_parallel_gates_independent(self):
+        dag = CircuitDag(Circuit(4).h(0).h(1).cx(2, 3))
+        assert dag.front_layer() == [0, 1, 2]
+
+    def test_single_dependency_per_qubit(self):
+        # Both qubits of gate 2 were last written by gate 1 -> one pred edge.
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        dag = CircuitDag(circuit)
+        assert dag.predecessors(1) == (0,)
+
+    def test_barrier_synchronises(self):
+        circuit = Circuit(2).h(0).barrier(0, 1).h(1)
+        dag = CircuitDag(circuit)
+        assert dag.predecessors(1) == (0,)
+        assert dag.predecessors(2) == (1,)
+
+    def test_topological_order_respects_deps(self):
+        circuit = Circuit(3).h(2).cx(0, 1).cx(1, 2).h(0)
+        dag = CircuitDag(circuit)
+        position = {node: i for i, node in enumerate(dag.topological_order())}
+        for node in range(dag.num_nodes):
+            for pred in dag.predecessors(node):
+                assert position[pred] < position[node]
+
+    def test_layers_partition_all_nodes(self):
+        dag = CircuitDag(chain())
+        layers = dag.layers()
+        assert sorted(n for layer in layers for n in layer) == [0, 1, 2]
+        assert layers == [[0], [1], [2]]
+
+    def test_longest_path(self):
+        assert CircuitDag(chain()).longest_path_length() == 3
+        wide = Circuit(4).h(0).h(1).h(2).h(3)
+        assert CircuitDag(wide).longest_path_length() == 1
+
+    def test_descendants(self):
+        dag = CircuitDag(chain())
+        assert dag.descendants(0) == {1, 2}
+        assert dag.descendants(2) == set()
+
+    def test_empty_circuit(self):
+        dag = CircuitDag(Circuit(2))
+        assert dag.num_nodes == 0
+        assert dag.layers() == []
+        assert dag.front_layer() == []
+
+
+class TestExecutionFrontier:
+    def test_progression(self):
+        dag = CircuitDag(chain())
+        frontier = ExecutionFrontier(dag)
+        assert frontier.ready == {0}
+        assert frontier.complete(0) == [1]
+        assert frontier.ready == {1}
+        frontier.complete(1)
+        frontier.complete(2)
+        assert frontier.exhausted
+
+    def test_complete_not_ready_rejected(self):
+        frontier = ExecutionFrontier(CircuitDag(chain()))
+        with pytest.raises(ValueError, match="not ready"):
+            frontier.complete(2)
+
+    def test_diamond(self):
+        # gate0 on q0, then two independent gates, then a joining gate.
+        circuit = Circuit(2).h(0).x(0).y(1).cx(0, 1)
+        frontier = ExecutionFrontier(CircuitDag(circuit))
+        assert frontier.ready == {0, 2}
+        frontier.complete(0)
+        assert frontier.ready == {1, 2}
+        frontier.complete(1)
+        frontier.complete(2)
+        assert frontier.ready == {3}
+
+    def test_exhausted_on_empty(self):
+        frontier = ExecutionFrontier(CircuitDag(Circuit(1)))
+        assert frontier.exhausted

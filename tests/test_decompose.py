@@ -1,0 +1,137 @@
+"""Unit tests for gate decomposition (repro.compiler.decompose).
+
+Every rewrite rule is checked against the dense simulator: lowering any
+standard gate into any of the three gate sets must preserve the unitary
+up to global phase.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Gate
+from repro.circuit.gates import STANDARD_GATES
+from repro.compiler import DecompositionError, decompose_circuit, decompose_gate, zyz_angles
+from repro.hardware import (
+    CNOT_GATESET,
+    GateSet,
+    IBM_BASIS_GATESET,
+    SURFACE17_GATESET,
+    UNRESTRICTED_GATESET,
+)
+from repro.sim import circuits_equivalent
+
+
+def _unitary_gate_cases():
+    rng = np.random.default_rng(99)
+    for name, definition in sorted(STANDARD_GATES.items()):
+        if definition.matrix_fn is None or definition.num_qubits is None:
+            continue
+        params = tuple(rng.uniform(0.1, 2 * math.pi, size=definition.num_params))
+        yield Gate(name, tuple(range(definition.num_qubits)), params)
+
+
+GATESETS = [SURFACE17_GATESET, IBM_BASIS_GATESET, CNOT_GATESET]
+
+
+class TestRuleCorrectness:
+    @pytest.mark.parametrize(
+        "gate", list(_unitary_gate_cases()), ids=lambda g: g.name
+    )
+    @pytest.mark.parametrize("gate_set", GATESETS, ids=lambda s: s.name)
+    def test_every_gate_in_every_gateset(self, gate, gate_set):
+        circuit = Circuit(gate.num_qubits, [gate])
+        lowered = decompose_circuit(circuit, gate_set)
+        assert all(gate_set.supports(g) for g in lowered)
+        assert circuits_equivalent(circuit, lowered)
+
+    def test_supported_gate_untouched(self):
+        gate = Gate("cz", (0, 1))
+        assert decompose_gate(gate, SURFACE17_GATESET) == [gate]
+
+    def test_directives_pass_through(self):
+        circuit = Circuit(2).barrier().measure_all()
+        lowered = decompose_circuit(circuit, SURFACE17_GATESET)
+        assert [g.name for g in lowered] == ["barrier", "measure", "measure"]
+
+    def test_swap_into_cz_set(self):
+        lowered = decompose_gate(Gate("swap", (0, 1)), SURFACE17_GATESET)
+        names = {g.name for g in lowered}
+        assert names <= set(SURFACE17_GATESET.gate_names)
+        assert "cz" in names
+
+    def test_toffoli_cnot_count(self):
+        lowered = decompose_gate(Gate("ccx", (0, 1, 2)), CNOT_GATESET)
+        assert sum(1 for g in lowered if g.name == "cx") == 6
+
+    def test_whole_circuit(self):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .ccx(0, 1, 2)
+            .swap(0, 2)
+            .cp(0.7, 1, 2)
+            .u3(0.1, 0.2, 0.3, 0)
+        )
+        for gate_set in GATESETS:
+            lowered = decompose_circuit(circuit, gate_set)
+            assert circuits_equivalent(circuit, lowered)
+
+
+class TestZyz:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip_random_unitaries(self, seed):
+        rng = np.random.default_rng(seed)
+        theta, phi, lam = rng.uniform(-2 * math.pi, 2 * math.pi, size=3)
+        gate = Gate("u3", (0,), (theta, phi, lam))
+        t, p, l = zyz_angles(gate.matrix())
+        reconstruction = Circuit(1).rz(l, 0).ry(t, 0).rz(p, 0)
+        assert circuits_equivalent(Circuit(1, [gate]), reconstruction)
+
+    def test_identity(self):
+        theta, phi, lam = zyz_angles(np.eye(2))
+        assert theta == pytest.approx(0.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(4))
+
+    def test_diagonal_unitary(self):
+        gate = Gate("rz", (0,), (1.3,))
+        t, p, l = zyz_angles(gate.matrix())
+        assert t == pytest.approx(0.0)
+        assert (p + l) % (2 * math.pi) == pytest.approx(1.3)
+
+
+class TestErrors:
+    def test_no_two_qubit_primitive(self):
+        broken = GateSet.of("broken", ["rz", "rx", "h"])
+        with pytest.raises(DecompositionError, match="neither"):
+            decompose_gate(Gate("cx", (0, 1)), broken)
+
+    def test_no_rotation_basis(self):
+        broken = GateSet.of("broken", ["x", "cx"])
+        with pytest.raises(DecompositionError, match="lacks rz"):
+            decompose_gate(Gate("h", (0,)), broken)
+
+    def test_rz_only_insufficient(self):
+        broken = GateSet.of("broken", ["rz", "cx"])
+        with pytest.raises(DecompositionError, match="lacks ry/rx/sx"):
+            decompose_gate(Gate("h", (0,)), broken)
+
+
+class TestOutputQuality:
+    def test_zero_angle_rotations_skipped(self):
+        # rz(0) synthesised into any basis should vanish or stay tiny.
+        lowered = decompose_gate(Gate("p", (0,), (0.0,)), IBM_BASIS_GATESET)
+        assert lowered == []
+
+    def test_diagonal_gate_becomes_single_rz(self):
+        lowered = decompose_gate(Gate("p", (0,), (0.8,)), IBM_BASIS_GATESET)
+        assert len(lowered) == 1
+        assert lowered[0].name == "rz"
+
+    def test_unrestricted_is_identity(self):
+        circuit = Circuit(3).ccx(0, 1, 2).iswap(0, 1)
+        assert decompose_circuit(circuit, UNRESTRICTED_GATESET) == circuit

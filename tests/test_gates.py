@@ -1,0 +1,261 @@
+"""Unit tests for the gate model (repro.circuit.gates)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    DIAGONAL_GATES,
+    Gate,
+    GATE_ALIASES,
+    SELF_INVERSE_GATES,
+    STANDARD_GATES,
+    TWO_QUBIT_GATE_NAMES,
+    gate_definition,
+    gate_inverse,
+    gate_matrix,
+    gates_commute,
+    resolve_alias,
+    _embed,
+)
+
+
+def _random_params(definition, rng):
+    return tuple(rng.uniform(0, 2 * math.pi, size=definition.num_params))
+
+
+def _unitary_gates():
+    for name, definition in sorted(STANDARD_GATES.items()):
+        if definition.matrix_fn is None or definition.num_qubits is None:
+            continue
+        yield name, definition
+
+
+class TestGateConstruction:
+    def test_basic_gate(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+        assert not gate.is_directive
+
+    def test_qubits_coerced_to_int(self):
+        gate = Gate("h", (np.int64(3),))
+        assert gate.qubits == (3,)
+        assert isinstance(gate.qubits[0], int)
+
+    def test_params_coerced_to_float(self):
+        gate = Gate("rz", (0,), (1,))
+        assert gate.params == (1.0,)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubits"):
+            Gate("cx", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Gate("cx", (1, 1))
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError, match="parameters"):
+            Gate("rz", (0,))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            Gate("bogus", (0,))
+
+    def test_barrier_variable_arity(self):
+        assert Gate("barrier", (0,)).num_qubits == 1
+        assert Gate("barrier", (0, 1, 2)).num_qubits == 3
+
+    def test_remap(self):
+        gate = Gate("cx", (0, 1)).remap({0: 5, 1: 3})
+        assert gate.qubits == (5, 3)
+
+    def test_overlaps(self):
+        assert Gate("cx", (0, 1)).overlaps(Gate("h", (1,)))
+        assert not Gate("cx", (0, 1)).overlaps(Gate("h", (2,)))
+
+    def test_two_qubit_barrier_is_not_interaction(self):
+        assert not Gate("barrier", (0, 1)).is_two_qubit
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name,definition", list(_unitary_gates()))
+    def test_matrix_is_unitary(self, name, definition):
+        rng = np.random.default_rng(42)
+        params = _random_params(definition, rng)
+        gate = Gate(name, tuple(range(definition.num_qubits)), params)
+        matrix = gate_matrix(gate)
+        dim = 2 ** definition.num_qubits
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "name", sorted(DIAGONAL_GATES - {"i"})
+    )
+    def test_diagonal_flag_matches_matrix(self, name):
+        definition = STANDARD_GATES[name]
+        rng = np.random.default_rng(3)
+        gate = Gate(
+            name,
+            tuple(range(definition.num_qubits)),
+            _random_params(definition, rng),
+        )
+        matrix = gate_matrix(gate)
+        off_diagonal = matrix - np.diag(np.diag(matrix))
+        assert np.allclose(off_diagonal, 0.0)
+
+    def test_cx_matrix_convention_first_qubit_is_control(self):
+        # |10> (control=1, target=0) must map to |11>.
+        matrix = gate_matrix(Gate("cx", (0, 1)))
+        state = np.zeros(4)
+        state[0b10] = 1.0
+        out = matrix @ state
+        assert out[0b11] == pytest.approx(1.0)
+
+    def test_directive_has_no_matrix(self):
+        with pytest.raises(ValueError, match="no unitary matrix"):
+            gate_matrix(Gate("measure", (0,)))
+
+    def test_matrix_cache_returns_readonly(self):
+        matrix = gate_matrix(Gate("h", (0,)))
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 5.0
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name,definition", list(_unitary_gates()))
+    def test_inverse_matrix_is_adjoint(self, name, definition):
+        rng = np.random.default_rng(7)
+        gate = Gate(
+            name,
+            tuple(range(definition.num_qubits)),
+            _random_params(definition, rng),
+        )
+        inverse = gate_inverse(gate)
+        product = gate_matrix(gate) @ gate_matrix(inverse)
+        dim = 2 ** definition.num_qubits
+        # Allow a global phase.
+        phase = product[0, 0]
+        assert abs(abs(phase) - 1.0) < 1e-9
+        assert np.allclose(product, phase * np.eye(dim), atol=1e-9)
+
+    def test_self_inverse_set(self):
+        for name in SELF_INVERSE_GATES - {"barrier"}:
+            definition = STANDARD_GATES[name]
+            gate = Gate(name, tuple(range(definition.num_qubits)))
+            assert gate_inverse(gate) == gate
+
+    def test_measure_not_invertible(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            gate_inverse(Gate("measure", (0,)))
+
+    def test_u2_inverse(self):
+        gate = Gate("u2", (0,), (0.4, 1.1))
+        inverse = gate_inverse(gate)
+        product = gate_matrix(gate) @ gate_matrix(inverse)
+        phase = product[0, 0]
+        assert np.allclose(product, phase * np.eye(2), atol=1e-9)
+
+
+class TestAliases:
+    def test_alias_table_targets_exist(self):
+        for target, _ in GATE_ALIASES.values():
+            assert target in STANDARD_GATES
+
+    def test_cnot_alias(self):
+        assert resolve_alias("CNOT") == ("cx", ())
+
+    def test_x90_alias_has_implicit_param(self):
+        name, params = resolve_alias("x90")
+        assert name == "rx"
+        assert params == (math.pi / 2,)
+
+    def test_unknown_passes_through(self):
+        assert resolve_alias("mystery") == ("mystery", ())
+
+
+class TestCommutation:
+    def test_disjoint_gates_commute(self):
+        assert gates_commute(Gate("h", (0,)), Gate("x", (1,)))
+
+    def test_diagonal_gates_commute(self):
+        assert gates_commute(Gate("rz", (0,), (0.3,)), Gate("cz", (0, 1)))
+
+    def test_cx_sharing_control(self):
+        assert gates_commute(Gate("cx", (0, 1)), Gate("cx", (0, 2)))
+
+    def test_cx_sharing_target(self):
+        assert gates_commute(Gate("cx", (0, 2)), Gate("cx", (1, 2)))
+
+    def test_cx_control_target_chain_does_not_commute(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("cx", (1, 2)))
+
+    def test_cx_reversed_does_not_commute(self):
+        assert not gates_commute(Gate("cx", (0, 1)), Gate("cx", (1, 0)))
+
+    def test_rz_on_cx_control(self):
+        assert gates_commute(Gate("rz", (0,), (1.0,)), Gate("cx", (0, 1)))
+
+    def test_rx_on_cx_target(self):
+        assert gates_commute(Gate("rx", (1,), (1.0,)), Gate("cx", (0, 1)))
+
+    def test_x_on_cx_control_does_not_commute(self):
+        assert not gates_commute(Gate("x", (0,)), Gate("cx", (0, 1)))
+
+    def test_directive_blocks(self):
+        assert not gates_commute(Gate("measure", (0,)), Gate("h", (0,)))
+        assert not gates_commute(Gate("barrier", (0, 1)), Gate("x", (0,)))
+
+    def test_numeric_fallback_agrees_with_matrices(self):
+        # swap and cz on the same pair commute (both symmetric, check numeric).
+        assert gates_commute(Gate("swap", (0, 1)), Gate("cz", (0, 1)))
+
+    def test_numeric_fallback_disabled(self):
+        assert not gates_commute(
+            Gate("swap", (0, 1)), Gate("cz", (0, 1)), numeric_fallback=False
+        )
+
+    def test_commutation_matches_matrix_check(self):
+        rng = np.random.default_rng(5)
+        pool = [
+            Gate("h", (0,)),
+            Gate("x", (0,)),
+            Gate("rz", (1,), (0.7,)),
+            Gate("cx", (0, 1)),
+            Gate("cz", (1, 2)),
+            Gate("swap", (0, 2)),
+        ]
+        for a in pool:
+            for b in pool:
+                support = sorted(set(a.qubits) | set(b.qubits))
+                ma = _embed(a, support)
+                mb = _embed(b, support)
+                expected = np.allclose(ma @ mb, mb @ ma, atol=1e-9)
+                assert gates_commute(a, b) == expected, (a, b)
+
+
+class TestEmbed:
+    def test_embed_single_qubit(self):
+        full = _embed(Gate("x", (1,)), [0, 1])
+        expected = np.kron(np.eye(2), gate_matrix(Gate("x", (0,))))
+        assert np.allclose(full, expected)
+
+    def test_embed_respects_order(self):
+        # cx with control on the less significant position.
+        full = _embed(Gate("cx", (1, 0)), [0, 1])
+        state = np.zeros(4)
+        state[0b01] = 1.0  # qubit1 (control) = 1
+        out = full @ state
+        assert out[0b11] == pytest.approx(1.0)
+
+
+def test_two_qubit_gate_names_consistent():
+    for name in TWO_QUBIT_GATE_NAMES:
+        assert STANDARD_GATES[name].num_qubits == 2
+
+
+def test_gate_definition_unknown():
+    with pytest.raises(KeyError):
+        gate_definition("nope")

@@ -1,0 +1,143 @@
+"""Unit tests for calibrations, gate sets and devices."""
+
+import pytest
+
+from repro.circuit import Gate
+from repro.hardware import (
+    CNOT_GATESET,
+    Calibration,
+    GateSet,
+    IBM_BASIS_GATESET,
+    IBM_FALCON_CALIBRATION,
+    IDEAL_CALIBRATION,
+    SURFACE17_CALIBRATION,
+    SURFACE17_GATESET,
+    UNRESTRICTED_GATESET,
+    all_to_all_device,
+    grid_device,
+    line_device,
+    surface17_device,
+    surface17_extended_device,
+    surface7_device,
+)
+
+
+class TestCalibration:
+    def test_paper_error_rates(self):
+        # Versluis et al.: 99.9% single-qubit, 99% CZ fidelity.
+        assert SURFACE17_CALIBRATION.single_qubit_error == pytest.approx(0.001)
+        assert SURFACE17_CALIBRATION.two_qubit_error == pytest.approx(0.01)
+
+    def test_gate_error_by_arity(self):
+        cal = SURFACE17_CALIBRATION
+        assert cal.gate_error(Gate("h", (0,))) == 0.001
+        assert cal.gate_error(Gate("cz", (0, 1))) == 0.01
+        assert cal.gate_error(Gate("measure", (0,))) == 0.01
+        assert cal.gate_error(Gate("barrier", (0,))) == 0.0
+
+    def test_three_qubit_gate_costs_like_decomposition(self):
+        error = SURFACE17_CALIBRATION.gate_error(Gate("ccx", (0, 1, 2)))
+        assert error == pytest.approx(6 * 0.01)
+
+    def test_fidelity_complements_error(self):
+        gate = Gate("cz", (0, 1))
+        cal = SURFACE17_CALIBRATION
+        assert cal.gate_fidelity(gate) == pytest.approx(1 - cal.gate_error(gate))
+
+    def test_durations(self):
+        cal = SURFACE17_CALIBRATION
+        assert cal.gate_duration_ns(Gate("x", (0,))) == 20.0
+        assert cal.gate_duration_ns(Gate("cz", (0, 1))) == 40.0
+        assert cal.gate_duration_ns(Gate("measure", (0,))) == 300.0
+        assert cal.gate_duration_ns(Gate("barrier", (0,))) == 0.0
+
+    def test_per_qubit_override(self):
+        cal = SURFACE17_CALIBRATION.with_qubit_error(3, 0.05)
+        assert cal.gate_error(Gate("x", (3,))) == 0.05
+        assert cal.gate_error(Gate("x", (2,))) == 0.001
+
+    def test_per_edge_override_is_symmetric(self):
+        cal = SURFACE17_CALIBRATION.with_edge_error(0, 1, 0.2)
+        assert cal.gate_error(Gate("cz", (0, 1))) == 0.2
+        assert cal.gate_error(Gate("cz", (1, 0))) == 0.2
+
+    def test_scaled(self):
+        cal = SURFACE17_CALIBRATION.scaled(2.0)
+        assert cal.two_qubit_error == pytest.approx(0.02)
+        assert cal.single_qubit_error == pytest.approx(0.002)
+
+    def test_scaled_clips(self):
+        cal = SURFACE17_CALIBRATION.scaled(1e6)
+        assert cal.two_qubit_error < 1.0
+
+    def test_invalid_error_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(single_qubit_error=1.5)
+        with pytest.raises(ValueError):
+            Calibration(two_qubit_error=-0.1)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(t1_us=0.0)
+
+    def test_ideal_is_noise_free(self):
+        assert IDEAL_CALIBRATION.gate_error(Gate("cz", (0, 1))) == 0.0
+
+    def test_falcon_differs(self):
+        assert IBM_FALCON_CALIBRATION.two_qubit_duration_ns > 100
+
+
+class TestGateSet:
+    def test_surface17_primitives(self):
+        assert SURFACE17_GATESET.supports(Gate("cz", (0, 1)))
+        assert not SURFACE17_GATESET.supports(Gate("cx", (0, 1)))
+        assert SURFACE17_GATESET.two_qubit_primitives == frozenset({"cz"})
+
+    def test_directives_always_supported(self):
+        for gate_set in (SURFACE17_GATESET, IBM_BASIS_GATESET, CNOT_GATESET):
+            assert gate_set.supports(Gate("measure", (0,)))
+            assert gate_set.supports(Gate("barrier", (0, 1)))
+            assert gate_set.supports(Gate("reset", (0,)))
+
+    def test_contains_protocol(self):
+        assert "cz" in SURFACE17_GATESET
+        assert "cx" not in SURFACE17_GATESET
+
+    def test_unknown_gate_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown gate kinds"):
+            GateSet.of("bad", ["nonsense"])
+
+    def test_unrestricted_accepts_everything(self):
+        assert UNRESTRICTED_GATESET.supports(Gate("ccx", (0, 1, 2)))
+        assert UNRESTRICTED_GATESET.supports(Gate("iswap", (0, 1)))
+
+
+class TestDevice:
+    def test_surface17_device(self):
+        device = surface17_device()
+        assert device.num_qubits == 17
+        assert device.gate_set is SURFACE17_GATESET
+        assert device.calibration is SURFACE17_CALIBRATION
+        assert device.name == "surface-17"
+
+    def test_extended_device_default_100(self):
+        device = surface17_extended_device()
+        assert device.num_qubits == 100
+
+    def test_fits(self):
+        device = surface7_device()
+        assert device.fits(7)
+        assert not device.fits(8)
+
+    def test_grid_device(self):
+        device = grid_device(2, 3)
+        assert device.num_qubits == 6
+        assert device.gate_set is CNOT_GATESET
+
+    def test_line_device(self):
+        assert line_device(4).coupling.diameter() == 3
+
+    def test_all_to_all_device_is_ideal(self):
+        device = all_to_all_device(5)
+        assert device.coupling.diameter() == 1
+        assert device.calibration.two_qubit_error == 0.0

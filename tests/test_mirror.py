@@ -1,0 +1,108 @@
+"""Unit tests for mirror-circuit benchmarking."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import sabre_mapper
+from repro.hardware import SURFACE17_CALIBRATION, surface7_device
+from repro.sim import NoisySimulator, sample_counts
+from repro.workloads import (
+    ghz_state,
+    mirror_circuit,
+    mirror_expected_bits,
+    mirror_success_probability,
+    qft,
+    random_circuit,
+)
+
+
+class TestMirrorConstruction:
+    def test_structure(self):
+        base = random_circuit(4, 20, 0.4, seed=0)
+        mirrored = mirror_circuit(base, seed=1)
+        # base + frame + inverse + measurements
+        assert mirrored.count_ops()["measure"] == 4
+        assert mirrored.num_gates >= 2 * base.num_gates
+
+    def test_rejects_measured_base(self):
+        with pytest.raises(ValueError, match="measurement-free"):
+            mirror_circuit(Circuit(2).h(0).measure(0))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ideal_output_is_basis_state(self, seed):
+        base = random_circuit(4, 30, 0.4, seed=seed)
+        mirrored = mirror_circuit(base, seed=seed)
+        bits = mirror_expected_bits(mirrored)
+        assert len(bits) == 4
+        assert set(bits) <= {"0", "1"}
+
+    def test_noiseless_run_hits_expected(self):
+        base = qft(4, do_swaps=False)
+        mirrored = mirror_circuit(base, seed=3)
+        bits = mirror_expected_bits(mirrored)
+        counts = sample_counts(mirrored.without_directives(), shots=64, seed=0)
+        assert counts == {bits: 64}
+
+    def test_identity_frame_possible(self):
+        # seed that draws all-identity frame -> output |00>.
+        base = ghz_state(2)
+        found_zero = False
+        for seed in range(20):
+            mirrored = mirror_circuit(base, seed=seed)
+            if mirrored.num_gates == 2 * base.num_gates:  # empty frame
+                assert mirror_expected_bits(mirrored) == "00"
+                found_zero = True
+                break
+        assert found_zero
+
+    def test_middle_frame_on_clifford_base(self):
+        from repro.workloads import random_clifford_circuit
+
+        base = random_clifford_circuit(4, 30, seed=5)
+        mirrored = mirror_circuit(base, seed=5, frame="middle")
+        bits = mirror_expected_bits(mirrored)
+        assert len(bits) == 4
+
+    def test_frame_validated(self):
+        with pytest.raises(ValueError, match="frame"):
+            mirror_circuit(ghz_state(2), frame="sideways")
+
+    def test_non_mirror_circuit_rejected(self):
+        with pytest.raises(ValueError, match="not a valid mirror"):
+            mirror_expected_bits(Circuit(1).h(0))
+
+
+class TestMirrorScoring:
+    def test_success_probability(self):
+        assert mirror_success_probability({"01": 75, "11": 25}, "01") == 0.75
+        assert mirror_success_probability({"11": 10}, "00") == 0.0
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            mirror_success_probability({}, "0")
+
+    def test_noise_lowers_success(self):
+        """The benchmark in action: noisy trajectories miss the target."""
+        base = random_circuit(4, 30, 0.4, seed=7)
+        mirrored = mirror_circuit(base, seed=7)
+        bits = mirror_expected_bits(mirrored)
+        target_index = int(bits, 2)
+        calibration = SURFACE17_CALIBRATION.scaled(5)
+        simulator = NoisySimulator(calibration, seed=11)
+        hits = 0
+        trials = 60
+        unitary_part = mirrored.without_directives()
+        for _ in range(trials):
+            state = simulator.run(unitary_part).reshape(-1)
+            hits += abs(state[target_index]) ** 2 > 0.5
+        success = hits / trials
+        assert 0.0 <= success < 1.0
+
+    def test_mapped_mirror_still_verifies(self, dev7):
+        """Mirrors survive compilation: map then check the basis output
+        through the mapping's final layout."""
+        base = ghz_state(4)
+        mirrored = mirror_circuit(base, seed=2)
+        result = sabre_mapper().map(mirrored.without_directives(), dev7)
+        assert result.verify()

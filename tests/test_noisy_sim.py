@@ -1,0 +1,97 @@
+"""Unit tests for the Monte-Carlo noisy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.hardware import IDEAL_CALIBRATION, SURFACE17_CALIBRATION, Calibration
+from repro.metrics import product_fidelity
+from repro.sim import (
+    NoisySimulator,
+    estimate_success_rate,
+    statevector,
+)
+from repro.workloads import ghz_state, random_circuit
+
+
+class TestNoisySimulator:
+    def test_noise_free_calibration_is_exact(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        noisy = NoisySimulator(IDEAL_CALIBRATION, seed=0).run(circuit)
+        assert np.allclose(noisy, statevector(circuit))
+
+    def test_trajectories_stay_normalised(self):
+        circuit = random_circuit(4, 40, 0.5, seed=0)
+        simulator = NoisySimulator(SURFACE17_CALIBRATION.scaled(10), seed=1)
+        state = simulator.run(circuit)
+        assert np.sum(np.abs(state) ** 2) == pytest.approx(1.0)
+
+    def test_high_noise_degrades_state(self):
+        circuit = random_circuit(4, 60, 0.5, seed=2)
+        ideal = statevector(circuit).reshape(-1)
+        noisy_cal = Calibration(
+            single_qubit_error=0.3, two_qubit_error=0.5, crosstalk_error=0.0
+        )
+        simulator = NoisySimulator(noisy_cal, seed=5)
+        overlaps = [
+            abs(np.vdot(ideal, simulator.run(circuit).reshape(-1))) ** 2
+            for _ in range(20)
+        ]
+        assert np.mean(overlaps) < 0.5
+
+    def test_measurements_rejected(self):
+        with pytest.raises(ValueError, match="strip measurements"):
+            NoisySimulator(seed=0).run(Circuit(1).measure(0))
+
+    def test_seeded_determinism(self):
+        circuit = random_circuit(3, 30, 0.4, seed=3)
+        cal = SURFACE17_CALIBRATION.scaled(20)
+        a = NoisySimulator(cal, seed=9).run(circuit)
+        b = NoisySimulator(cal, seed=9).run(circuit)
+        assert np.allclose(a, b)
+
+
+class TestSuccessRateEstimate:
+    def test_ideal_circuit_rate_is_one(self):
+        estimate = estimate_success_rate(
+            ghz_state(3), IDEAL_CALIBRATION, trajectories=10
+        )
+        assert estimate.mean == pytest.approx(1.0)
+        assert estimate.std_error == pytest.approx(0.0)
+
+    def test_model_agrees_with_monte_carlo(self):
+        """The paper's fidelity product approximates the MC ground truth."""
+        calibration = SURFACE17_CALIBRATION.scaled(3.0)
+        for circuit in (ghz_state(4), random_circuit(5, 50, 0.4, seed=1)):
+            estimate = estimate_success_rate(
+                circuit, calibration, trajectories=250, seed=2
+            )
+            model = product_fidelity(circuit.without_directives(), calibration)
+            assert estimate.agrees_with(model), (circuit.name, estimate, model)
+
+    def test_rate_decreases_with_depth(self):
+        calibration = SURFACE17_CALIBRATION.scaled(5.0)
+        shallow = estimate_success_rate(
+            random_circuit(4, 20, 0.5, seed=4), calibration, trajectories=150
+        )
+        deep = estimate_success_rate(
+            random_circuit(4, 120, 0.5, seed=4), calibration, trajectories=150
+        )
+        assert deep.mean < shallow.mean
+
+    def test_measurements_stripped_automatically(self):
+        estimate = estimate_success_rate(
+            ghz_state(3).measure_all(), trajectories=5
+        )
+        assert 0.0 <= estimate.mean <= 1.0
+
+    def test_trajectory_count_validated(self):
+        with pytest.raises(ValueError):
+            estimate_success_rate(ghz_state(2), trajectories=0)
+
+    def test_agreement_tolerance(self):
+        from repro.sim import SuccessRateEstimate
+
+        estimate = SuccessRateEstimate(mean=0.5, std_error=0.01, trajectories=100)
+        assert estimate.agrees_with(0.52)
+        assert not estimate.agrees_with(0.9)

@@ -1,0 +1,96 @@
+"""Unit tests for the instrumented pass manager."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import PassManager, decompose_circuit, optimize_circuit
+from repro.hardware import SURFACE17_GATESET
+from repro.workloads import qft
+
+
+def _decompose(circuit):
+    return decompose_circuit(circuit, SURFACE17_GATESET)
+
+
+class TestPassManager:
+    def test_runs_in_order(self):
+        manager = (
+            PassManager()
+            .append("decompose", _decompose)
+            .append("optimize", optimize_circuit)
+        )
+        transcript = manager.run(qft(4, do_swaps=False))
+        assert [r.name for r in transcript.records] == ["decompose", "optimize"]
+        # The optimiser consumes the decomposer's output.
+        assert (
+            transcript.records[1].gates_before
+            == transcript.records[0].gates_after
+        )
+        assert transcript.circuit.num_gates == transcript.records[-1].gates_after
+
+    def test_output_in_gate_set(self):
+        manager = PassManager([("decompose", _decompose)])
+        transcript = manager.run(qft(3))
+        assert all(SURFACE17_GATESET.supports(g) for g in transcript.circuit)
+
+    def test_records_timing(self):
+        transcript = PassManager([("decompose", _decompose)]).run(qft(5))
+        assert transcript.records[0].seconds >= 0.0
+        assert transcript.total_seconds >= transcript.records[0].seconds
+
+    def test_stage_lookup(self):
+        transcript = PassManager([("decompose", _decompose)]).run(qft(3))
+        assert transcript.stage("decompose").name == "decompose"
+        with pytest.raises(KeyError):
+            transcript.stage("missing")
+
+    def test_gate_delta(self):
+        transcript = PassManager([("decompose", _decompose)]).run(qft(3))
+        record = transcript.records[0]
+        assert record.gate_delta == record.gates_after - record.gates_before
+        assert record.gate_delta > 0  # cp gates expand
+
+    def test_format(self):
+        transcript = (
+            PassManager()
+            .append("decompose", _decompose)
+            .append("optimize", optimize_circuit)
+            .run(qft(3))
+        )
+        text = transcript.format()
+        assert "decompose" in text and "optimize" in text
+        assert "total:" in text
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            PassManager().append("broken", 42)
+
+    def test_non_circuit_return_rejected(self):
+        manager = PassManager([("broken", lambda c: "oops")])
+        with pytest.raises(TypeError, match="expected Circuit"):
+            manager.run(Circuit(1).h(0))
+
+    def test_validation_catches_bad_pass(self):
+        def corrupting(circuit):
+            out = circuit.copy()
+            out.x(0)
+            return out
+
+        manager = PassManager([("corrupt", corrupting)], validate=True)
+        with pytest.raises(RuntimeError, match="changed the circuit"):
+            manager.run(Circuit(2).h(0))
+
+    def test_validation_passes_good_pipeline(self):
+        manager = PassManager(
+            [("decompose", _decompose), ("optimize", optimize_circuit)],
+            validate=True,
+        )
+        transcript = manager.run(qft(3, do_swaps=False))
+        assert transcript.circuit.num_gates > 0
+
+    def test_empty_manager(self):
+        circuit = Circuit(2).h(0)
+        transcript = PassManager().run(circuit)
+        assert transcript.records == []
+        assert transcript.circuit == circuit
+        assert len(PassManager()) == 0

@@ -1,0 +1,54 @@
+"""The public API surface: everything advertised must import and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.circuit",
+        "repro.sim",
+        "repro.hardware",
+        "repro.workloads",
+        "repro.compiler",
+        "repro.core",
+        "repro.metrics",
+        "repro.fullstack",
+        "repro.experiments",
+    ],
+)
+def test_subpackage_all_exports(module):
+    mod = importlib.import_module(module)
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{module}.{name}"
+
+
+def test_quickstart_from_docstring():
+    """The quickstart in the package docstring must actually run."""
+    from repro import Circuit, surface17_device, trivial_mapper
+
+    circuit = Circuit(4).h(0).cx(0, 1).cx(1, 2).cx(2, 3)
+    result = trivial_mapper().map(circuit, surface17_device())
+    assert result.overhead.gate_overhead_percent >= 0.0
+    assert 0.0 < result.fidelity.fidelity_after <= 1.0
+
+
+def test_paper_pipeline_one_liner():
+    """Suite -> map -> profile: the core loop exposed at top level."""
+    from repro import profile_suite, small_suite
+
+    profiles = profile_suite(small_suite(3))
+    assert len(profiles) == 3

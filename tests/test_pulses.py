@@ -1,0 +1,132 @@
+"""Unit tests for the pulse-level control layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import asap_schedule
+from repro.fullstack import (
+    PulseSchedule,
+    Waveform,
+    compile_to_pulses,
+    drag_envelope,
+    flat_top_envelope,
+    gaussian_envelope,
+    square_envelope,
+)
+
+
+class TestEnvelopes:
+    def test_gaussian_peak_and_symmetry(self):
+        envelope = gaussian_envelope(20.0, 0.5)
+        # the grid may not sample t=0 exactly; peak within 2%
+        assert np.max(envelope) == pytest.approx(0.5, rel=0.02)
+        assert np.allclose(envelope, envelope[::-1])
+
+    def test_drag_has_quadrature(self):
+        envelope = drag_envelope(20.0, 0.5, beta=0.3)
+        assert np.iscomplexobj(envelope)
+        assert np.abs(envelope.imag).max() > 0
+        # The quadrature is the (scaled) derivative: odd symmetry.
+        assert np.allclose(envelope.imag, -envelope.imag[::-1], atol=1e-12)
+
+    def test_flat_top_plateau(self):
+        envelope = flat_top_envelope(40.0, 0.5, rise_fraction=0.25)
+        middle = envelope[len(envelope) // 2]
+        assert middle == pytest.approx(0.5)
+        assert envelope[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_flat_top_rise_validated(self):
+        with pytest.raises(ValueError):
+            flat_top_envelope(40.0, 0.5, rise_fraction=0.7)
+
+    def test_square(self):
+        envelope = square_envelope(10.0, 0.3)
+        assert np.all(envelope == 0.3)
+        assert len(envelope) == 10
+
+    def test_sample_rate_scales_length(self):
+        assert len(gaussian_envelope(20.0, 1.0, sample_rate_gsps=2.0)) == 40
+
+
+class TestWaveform:
+    def test_duration(self):
+        waveform = Waveform(np.ones(40), sample_rate_gsps=2.0)
+        assert waveform.duration_ns == 20.0
+
+    def test_area_and_peak(self):
+        waveform = Waveform(np.full(10, 0.5))
+        assert waveform.area == pytest.approx(5.0)
+        assert waveform.peak == pytest.approx(0.5)
+
+
+class TestCompileToPulses:
+    def test_drive_flux_and_readout_channels(self):
+        circuit = Circuit(2).h(0).cz(0, 1).measure(1)
+        pulses = compile_to_pulses(asap_schedule(circuit))
+        assert pulses.channels() == ["d0", "f0-1", "m1"]
+
+    def test_virtual_z_emits_nothing(self):
+        circuit = Circuit(1).rz(0.5, 0).s(0).t(0).z(0)
+        pulses = compile_to_pulses(asap_schedule(circuit))
+        assert pulses.num_pulses == 0
+
+    def test_pulse_timing_follows_schedule(self):
+        circuit = Circuit(2).h(0).cz(0, 1)
+        schedule = asap_schedule(circuit)
+        pulses = compile_to_pulses(schedule)
+        flux = pulses.pulses_on("f0-1")[0]
+        assert flux.start_ns == pytest.approx(20.0)
+        assert pulses.duration_ns == pytest.approx(schedule.latency_ns)
+
+    def test_no_collisions_on_valid_schedule(self):
+        circuit = Circuit(3).h(0).h(1).cz(0, 1).rx(0.3, 2).cz(1, 2).measure_all()
+        pulses = compile_to_pulses(asap_schedule(circuit))
+        assert not pulses.has_collisions()
+
+    def test_amplitude_scales_with_angle(self):
+        small = compile_to_pulses(asap_schedule(Circuit(1).rx(0.2, 0)))
+        large = compile_to_pulses(asap_schedule(Circuit(1).rx(2.8, 0)))
+        assert small.pulses[0].waveform.peak < large.pulses[0].waveform.peak
+
+    def test_x_gate_is_pi_amplitude(self):
+        pulses = compile_to_pulses(asap_schedule(Circuit(1).x(0)))
+        assert pulses.pulses[0].waveform.peak == pytest.approx(0.8, rel=0.02)
+
+    def test_flux_channel_sorted_pair(self):
+        pulses = compile_to_pulses(asap_schedule(Circuit(3).cz(2, 0)))
+        assert pulses.channels() == ["f0-2"]
+
+    def test_readout_duration(self):
+        pulses = compile_to_pulses(asap_schedule(Circuit(1).measure(0)))
+        assert pulses.pulses[0].waveform.duration_ns == pytest.approx(300.0)
+
+    def test_occupancy(self):
+        circuit = Circuit(1).x(0).x(0)
+        pulses = compile_to_pulses(asap_schedule(circuit))
+        assert pulses.channel_occupancy("d0") == pytest.approx(1.0)
+
+    def test_total_samples_positive(self):
+        circuit = Circuit(2).h(0).cz(0, 1)
+        assert compile_to_pulses(asap_schedule(circuit)).total_samples() > 0
+
+    def test_sample_rate_validated(self):
+        with pytest.raises(ValueError):
+            compile_to_pulses(asap_schedule(Circuit(1).x(0)), sample_rate_gsps=0)
+
+    def test_barrier_skipped(self):
+        pulses = compile_to_pulses(asap_schedule(Circuit(2).barrier()))
+        assert pulses.num_pulses == 0
+
+    def test_collision_detection(self):
+        colliding = PulseSchedule(
+            [
+                # two overlapping pulses on the same channel
+                compile_to_pulses(asap_schedule(Circuit(1).x(0))).pulses[0],
+                compile_to_pulses(asap_schedule(Circuit(1).x(0))).pulses[0],
+            ],
+            1.0,
+        )
+        assert colliding.has_collisions()

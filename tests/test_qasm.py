@@ -1,0 +1,178 @@
+"""Unit tests for the OpenQASM 2.0 reader/writer (repro.circuit.qasm)."""
+
+import math
+
+import pytest
+
+from repro.circuit import Circuit, QasmError, parse_qasm, to_qasm
+from repro.sim import circuits_equivalent
+
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParsing:
+    def test_minimal_program(self):
+        circuit = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];\n")
+        assert circuit.num_qubits == 2
+        assert [g.name for g in circuit] == ["h", "cx"]
+
+    def test_parameter_expressions(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\n"
+            "ry(2*pi/3) q[0];\nu1(0.25) q[0];\n"
+        )
+        assert circuit[0].params == (math.pi / 2,)
+        assert circuit[1].params == (-math.pi,)
+        assert circuit[2].params == (2 * math.pi / 3,)
+        assert circuit[3].name == "p"
+
+    def test_expression_functions(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(cos(0)) q[0];\n")
+        assert circuit[0].params == (1.0,)
+
+    def test_power_operator(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nrz(2^3) q[0];\n")
+        assert circuit[0].params == (8.0,)
+
+    def test_register_broadcast_single(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nh q;\n")
+        assert len(circuit) == 3
+        assert {g.qubits[0] for g in circuit} == {0, 1, 2}
+
+    def test_register_broadcast_zip(self):
+        circuit = parse_qasm(HEADER + "qreg a[2];\nqreg b[2];\ncx a, b;\n")
+        assert [g.qubits for g in circuit] == [(0, 2), (1, 3)]
+
+    def test_broadcast_scalar_against_register(self):
+        circuit = parse_qasm(HEADER + "qreg a[1];\nqreg b[3];\ncx a[0], b;\n")
+        assert [g.qubits for g in circuit] == [(0, 1), (0, 2), (0, 3)]
+
+    def test_multiple_qregs_flattened(self):
+        circuit = parse_qasm(HEADER + "qreg a[2];\nqreg b[1];\nx b[0];\n")
+        assert circuit.num_qubits == 3
+        assert circuit[0].qubits == (2,)
+
+    def test_measure(self):
+        circuit = parse_qasm(
+            HEADER + "qreg q[2];\ncreg c[2];\nmeasure q[0] -> c[0];\nmeasure q -> c;\n"
+        )
+        assert [g.name for g in circuit] == ["measure"] * 3
+
+    def test_barrier(self):
+        circuit = parse_qasm(HEADER + "qreg q[3];\nbarrier q[0], q[2];\n")
+        assert circuit[0].name == "barrier"
+        assert circuit[0].qubits == (0, 2)
+
+    def test_reset_and_id(self):
+        circuit = parse_qasm(HEADER + "qreg q[1];\nreset q[0];\nid q[0];\n")
+        assert [g.name for g in circuit] == ["reset", "i"]
+
+    def test_comments_ignored(self):
+        circuit = parse_qasm(
+            HEADER + "// a comment\nqreg q[1];\nx q[0]; // trailing\n"
+        )
+        assert len(circuit) == 1
+
+    def test_gate_macro(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate bell a, b { h a; cx a, b; }\n"
+            "bell q[0], q[1];\n"
+        )
+        circuit = parse_qasm(source)
+        assert [g.name for g in circuit] == ["h", "cx"]
+        assert circuit[1].qubits == (0, 1)
+
+    def test_parameterised_macro(self):
+        source = HEADER + (
+            "qreg q[1];\n"
+            "gate wiggle(theta) a { rz(theta/2) a; rz(theta/2) a; }\n"
+            "wiggle(pi) q[0];\n"
+        )
+        circuit = parse_qasm(source)
+        assert len(circuit) == 2
+        assert circuit[0].params == (math.pi / 2,)
+
+    def test_nested_macro(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate inner a { h a; }\n"
+            "gate outer a, b { inner a; cx a, b; }\n"
+            "outer q[0], q[1];\n"
+        )
+        circuit = parse_qasm(source)
+        assert [g.name for g in circuit] == ["h", "cx"]
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("qreg q[2];\nbogus q[0];", "unknown gate"),
+            ("qreg q[2];\nh q[5];", "out of range"),
+            ("qreg q[2];\nh r[0];", "unknown quantum register"),
+            ("qreg q[2];\nrz() q[0];", "expects 1 params|bad expression"),
+            ("qreg q[2];\nrz(pi q[0];", "malformed|unterminated|bad|missing"),
+            ("qreg q[2];\nif (c==1) x q[0];", "unsupported"),
+            ("qreg q[1];\nrz(1/0) q[0];", "division by zero"),
+            ("qreg q[1];\nrz(foo) q[0];", "unknown identifier"),
+            ("qreg q[2];\nqreg q[2];", "duplicate"),
+            ("qreg q[2];\ncx q[0];", "expects 2"),
+        ],
+    )
+    def test_error(self, source, pattern):
+        with pytest.raises(QasmError, match=pattern):
+            parse_qasm(HEADER + source)
+
+    def test_error_reports_line(self):
+        with pytest.raises(QasmError, match="line"):
+            parse_qasm(HEADER + "qreg q[1];\n\n\nbogus q[0];\n")
+
+
+class TestWriter:
+    def test_roundtrip_structure(self):
+        circuit = (
+            Circuit(3)
+            .h(0)
+            .cx(0, 1)
+            .rz(math.pi / 3, 1)
+            .cp(0.5, 1, 2)
+            .swap(0, 2)
+            .barrier()
+            .measure_all()
+        )
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert [g.name for g in parsed] == [g.name for g in circuit]
+
+    def test_roundtrip_semantics(self):
+        circuit = Circuit(3).h(0).cx(0, 1).t(2).rzz(1.234, 0, 2).u3(0.1, 0.2, 0.3, 1)
+        parsed = parse_qasm(to_qasm(circuit))
+        assert circuits_equivalent(circuit, parsed)
+
+    def test_pi_folding(self):
+        text = to_qasm(Circuit(1).rz(math.pi / 2, 0))
+        assert "pi/2" in text
+
+    def test_negative_pi_folding(self):
+        text = to_qasm(Circuit(1).rz(-math.pi, 0))
+        assert "-pi" in text
+
+    def test_non_pi_params_preserved_exactly(self):
+        circuit = Circuit(1).rz(0.12345678901234567, 0)
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed[0].params[0] == pytest.approx(0.12345678901234567, abs=0)
+
+    def test_measure_emits_creg(self):
+        text = to_qasm(Circuit(2).measure(1))
+        assert "creg" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_no_creg_without_measure(self):
+        assert "creg" not in to_qasm(Circuit(2).h(0))
+
+    def test_id_and_u1_spellings(self):
+        text = to_qasm(Circuit(1).i(0).p(0.3, 0))
+        assert "id q[0];" in text
+        assert "u1(" in text

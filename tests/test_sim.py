@@ -1,0 +1,220 @@
+"""Unit tests for the state-vector simulator and equivalence oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Gate
+from repro.sim import (
+    Simulator,
+    allclose_up_to_global_phase,
+    apply_gate,
+    basis_state,
+    circuit_unitary,
+    circuits_equivalent,
+    permutation_unitary,
+    probabilities,
+    random_product_state,
+    sample_counts,
+    statevector,
+    verify_mapping,
+    zero_state,
+)
+
+
+class TestStates:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state.shape == (2, 2, 2)
+        assert state[0, 0, 0] == 1.0
+        assert np.sum(np.abs(state) ** 2) == pytest.approx(1.0)
+
+    def test_basis_state(self):
+        state = basis_state(2, [1, 0])
+        assert state[1, 0] == 1.0
+
+    def test_basis_state_wrong_length(self):
+        with pytest.raises(ValueError):
+            basis_state(2, [1])
+
+    def test_random_product_state_normalised(self):
+        rng = np.random.default_rng(0)
+        state = random_product_state(4, rng)
+        assert np.sum(np.abs(state) ** 2) == pytest.approx(1.0)
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            zero_state(40)
+
+
+class TestApplyGate:
+    def test_x_flips(self):
+        state = apply_gate(zero_state(1), Gate("x", (0,)))
+        assert state[1] == pytest.approx(1.0)
+
+    def test_h_superposition(self):
+        state = apply_gate(zero_state(1), Gate("h", (0,)))
+        assert abs(state[0]) == pytest.approx(1 / math.sqrt(2))
+
+    def test_cx_respects_qubit_order(self):
+        # control qubit 1, target qubit 0 on state |01> (q1=1).
+        state = apply_gate(basis_state(2, [0, 1]), Gate("cx", (1, 0)))
+        assert state[1, 1] == pytest.approx(1.0)
+
+    def test_agrees_with_unitary(self):
+        rng = np.random.default_rng(1)
+        circuit = Circuit(3)
+        circuit.h(0).cx(0, 2).rz(0.7, 1).cswap(0, 1, 2).ry(1.1, 2)
+        via_sim = statevector(circuit).reshape(-1)
+        via_unitary = circuit_unitary(circuit)[:, 0]
+        assert np.allclose(via_sim, via_unitary, atol=1e-10)
+
+
+class TestSimulatorMeasurement:
+    def test_deterministic_measure(self):
+        result = Simulator(seed=0).run(Circuit(1).x(0).measure(0))
+        assert result.measurements[0] == [1]
+        assert result.last_outcome(0) == 1
+
+    def test_measure_collapses(self):
+        result = Simulator(seed=3).run(Circuit(2).h(0).cx(0, 1).measure(0))
+        outcome = result.measurements[0][0]
+        # After measuring qubit 0, qubit 1 must agree (GHZ correlation).
+        probs = result.probabilities()
+        surviving = int(np.argmax(probs))
+        assert (surviving >> 1) & 1 == outcome
+        assert surviving & 1 == outcome
+
+    def test_measurement_statistics(self):
+        ones = 0
+        simulator = Simulator(seed=1234)
+        for _ in range(200):
+            result = simulator.run(Circuit(1).h(0).measure(0))
+            ones += result.measurements[0][0]
+        assert 60 < ones < 140  # ~ Binomial(200, 0.5)
+
+    def test_reset_restores_zero(self):
+        result = Simulator(seed=0).run(Circuit(1).x(0).reset(0))
+        assert result.state[0] == pytest.approx(1.0)
+
+    def test_reset_superposition(self):
+        result = Simulator(seed=5).run(Circuit(1).h(0).reset(0))
+        assert abs(result.state[0]) == pytest.approx(1.0)
+
+    def test_barrier_is_noop(self):
+        a = Simulator(seed=0).run(Circuit(2).h(0).barrier().cx(0, 1))
+        b = Simulator(seed=0).run(Circuit(2).h(0).cx(0, 1))
+        assert np.allclose(a.state, b.state)
+
+    def test_initial_state(self):
+        init = basis_state(1, [1])
+        result = Simulator(seed=0).run(Circuit(1).x(0), initial_state=init)
+        assert result.state[0] == pytest.approx(1.0)
+
+    def test_wrong_initial_state_dim(self):
+        with pytest.raises(ValueError, match="dimension"):
+            Simulator().run(Circuit(2).h(0), initial_state=np.ones(3))
+
+
+class TestStatevectorHelpers:
+    def test_statevector_rejects_measurement(self):
+        with pytest.raises(ValueError, match="measurement-free"):
+            statevector(Circuit(1).measure(0))
+
+    def test_probabilities_sum_to_one(self):
+        probs = probabilities(Circuit(3).h(0).cx(0, 1).t(2))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_sample_counts_ghz(self):
+        counts = sample_counts(Circuit(2).h(0).cx(0, 1), shots=500, seed=7)
+        assert set(counts) <= {"00", "11"}
+        assert sum(counts.values()) == 500
+        assert 150 < counts.get("00", 0) < 350
+
+
+class TestUnitary:
+    def test_identity_circuit(self):
+        assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+    def test_known_cx(self):
+        expected = np.eye(4)[:, [0, 1, 3, 2]]
+        assert np.allclose(circuit_unitary(Circuit(2).cx(0, 1)), expected)
+
+    def test_composition_order(self):
+        circuit = Circuit(1).x(0).h(0)
+        # h applied after x: U = H @ X.
+        h = circuit_unitary(Circuit(1).h(0))
+        x = circuit_unitary(Circuit(1).x(0))
+        assert np.allclose(circuit_unitary(circuit), h @ x)
+
+    def test_rejects_measurement(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(1).measure(0))
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="limited"):
+            circuit_unitary(Circuit(13))
+
+    def test_permutation_unitary_identity(self):
+        assert np.allclose(permutation_unitary(3, {0: 0, 1: 1, 2: 2}), np.eye(8))
+
+    def test_permutation_unitary_swap(self):
+        perm = permutation_unitary(2, {0: 1, 1: 0})
+        swap = circuit_unitary(Circuit(2).swap(0, 1))
+        assert np.allclose(perm, swap)
+
+    def test_permutation_requires_bijection(self):
+        with pytest.raises(ValueError):
+            permutation_unitary(2, {0: 0, 1: 0})
+
+
+class TestEquivalence:
+    def test_global_phase_ignored(self):
+        a = np.array([1.0, 0.0])
+        b = np.exp(1j * 0.7) * a
+        assert allclose_up_to_global_phase(a, b)
+
+    def test_different_states_rejected(self):
+        assert not allclose_up_to_global_phase(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        )
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.ones(2), np.ones(4))
+
+    def test_circuits_equivalent_phase(self):
+        # rz(pi) and z differ only by a global phase.
+        assert circuits_equivalent(Circuit(1).rz(math.pi, 0), Circuit(1).z(0))
+
+    def test_circuits_equivalent_widths(self):
+        assert not circuits_equivalent(Circuit(1).x(0), Circuit(2).x(0))
+
+
+class TestVerifyMapping:
+    def test_identity_mapping(self, bell_circuit):
+        assert verify_mapping(
+            bell_circuit, bell_circuit, {0: 0, 1: 1}, {0: 0, 1: 1}
+        )
+
+    def test_mapping_with_swap(self, bell_circuit):
+        mapped = Circuit(3).h(0).swap(1, 2).cx(0, 2)
+        assert verify_mapping(bell_circuit, mapped, {0: 0, 1: 1}, {0: 0, 1: 2})
+
+    def test_wrong_final_layout_detected(self, bell_circuit):
+        mapped = Circuit(3).h(0).swap(1, 2).cx(0, 2)
+        assert not verify_mapping(
+            bell_circuit, mapped, {0: 0, 1: 1}, {0: 0, 1: 1}
+        )
+
+    def test_wrong_gate_detected(self, bell_circuit):
+        mapped = Circuit(2).h(0).cz(0, 1)
+        assert not verify_mapping(bell_circuit, mapped, {0: 0, 1: 1}, {0: 0, 1: 1})
+
+    def test_non_injective_layout_rejected(self, bell_circuit):
+        with pytest.raises(ValueError, match="injective"):
+            verify_mapping(bell_circuit, bell_circuit, {0: 0, 1: 0}, {0: 0, 1: 1})
+
+    def test_too_small_physical_register_rejected(self, bell_circuit):
+        with pytest.raises(ValueError, match="fewer qubits"):
+            verify_mapping(bell_circuit, Circuit(1), {0: 0, 1: 1}, {0: 0, 1: 1})

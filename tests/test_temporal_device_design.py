@@ -1,0 +1,147 @@
+"""Tests for temporal profiling and application-driven device exploration."""
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.core import (
+    TemporalProfile,
+    TopologyReport,
+    best_topology_for,
+    explore_topologies,
+    temporal_profile,
+    time_sliced_graphs,
+)
+from repro.workloads import ghz_state, ising_chain, qaoa_maxcut, random_circuit
+
+
+class TestTimeSlicedGraphs:
+    def test_slice_count_and_width(self):
+        circuit = random_circuit(4, 40, 0.5, seed=0)
+        graphs = time_sliced_graphs(circuit, 4)
+        assert len(graphs) == 4
+        assert all(g.num_qubits == 4 for g in graphs)
+
+    def test_total_weight_conserved(self):
+        circuit = random_circuit(5, 60, 0.5, seed=1)
+        graphs = time_sliced_graphs(circuit, 5)
+        assert sum(g.total_weight for g in graphs) == circuit.num_two_qubit_gates
+
+    def test_empty_circuit(self):
+        graphs = time_sliced_graphs(Circuit(3), 3)
+        assert len(graphs) == 3
+        assert all(g.num_edges == 0 for g in graphs)
+
+    def test_single_slice_equals_static_graph(self):
+        from repro.core import InteractionGraph
+
+        circuit = random_circuit(4, 30, 0.5, seed=2)
+        sliced = time_sliced_graphs(circuit, 1)[0]
+        static = InteractionGraph.from_circuit(circuit)
+        assert sliced.edges() == static.edges()
+
+    def test_slice_count_validated(self):
+        with pytest.raises(ValueError):
+            time_sliced_graphs(Circuit(2), 0)
+
+
+class TestTemporalProfile:
+    def test_layered_ansatz_is_local(self):
+        # Ising Trotter repeats the same bonds every step: locality ~ 1.
+        circuit = ising_chain(6, steps=8)
+        profile = temporal_profile(circuit, num_slices=4)
+        assert profile.locality > 0.9
+        assert profile.persistence > 0.9
+
+    def test_random_circuit_less_local_than_ansatz(self):
+        ansatz = temporal_profile(ising_chain(6, steps=8), num_slices=4)
+        random_p = temporal_profile(
+            random_circuit(6, 100, 0.3, seed=3), num_slices=4
+        )
+        assert ansatz.locality >= random_p.locality
+
+    def test_bounds(self):
+        for seed in range(3):
+            profile = temporal_profile(
+                random_circuit(5, 50, 0.5, seed=seed), num_slices=4
+            )
+            assert 0.0 <= profile.locality <= 1.0
+            assert 0.0 <= profile.persistence <= 1.0
+            assert profile.burstiness >= 0.0
+
+    def test_bursty_circuit_detected(self):
+        # All 2q gates bunched at the start.
+        circuit = Circuit(4)
+        for _ in range(10):
+            circuit.cx(0, 1)
+        for _ in range(30):
+            circuit.h(2)
+        bursty = temporal_profile(circuit, num_slices=4)
+        even = temporal_profile(ising_chain(4, steps=8), num_slices=4)
+        assert bursty.burstiness > even.burstiness
+
+    def test_no_interactions(self):
+        profile = temporal_profile(Circuit(3).h(0).h(1), num_slices=2)
+        assert profile.persistence == 0.0
+        assert profile.burstiness == 0.0
+
+    def test_as_dict(self):
+        record = temporal_profile(ghz_state(4)).as_dict()
+        assert set(record) == {
+            "temporal_locality",
+            "temporal_persistence",
+            "temporal_burstiness",
+        }
+
+
+class TestDeviceExploration:
+    def test_reports_sorted_by_cost(self):
+        workload = ising_chain(8, steps=2)
+        reports = explore_topologies(workload, 10)
+        swaps = [r.total_swaps for r in reports]
+        assert swaps == sorted(swaps)
+
+    def test_chain_workload_prefers_cheap_topology(self):
+        """A 1D algorithm should not need a dense chip: the winner (all-
+        to-all excluded) must route it with zero or near-zero SWAPs."""
+        workload = ising_chain(8, steps=3)
+        best = best_topology_for(workload, 8)
+        assert best.total_swaps <= 2
+        assert best.name != "full"
+
+    def test_full_connectivity_wins_raw(self):
+        workload = random_circuit(6, 60, 0.6, seed=1)
+        reports = explore_topologies(workload, 8)
+        assert reports[0].name == "full"
+        assert reports[0].total_swaps == 0
+
+    def test_workload_list(self):
+        workload = [ghz_state(5), ising_chain(5, steps=1)]
+        reports = explore_topologies(workload, 6)
+        assert len(reports) == len(
+            __import__("repro.hardware", fromlist=["TOPOLOGY_GENERATORS"]).TOPOLOGY_GENERATORS
+        )
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError, match="budget"):
+            explore_topologies(ghz_state(8), 4)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            explore_topologies([], 4)
+
+    def test_pareto_dominance(self):
+        cheap_good = TopologyReport("a", 5, 10, 1.0, 0.9)
+        pricey_bad = TopologyReport("b", 9, 20, 2.0, 0.8)
+        assert cheap_good.dominates(pricey_bad)
+        assert not pricey_bad.dominates(cheap_good)
+        assert not cheap_good.dominates(cheap_good)
+
+    def test_custom_generators(self):
+        from repro.hardware import line, ring
+
+        reports = explore_topologies(
+            ghz_state(5),
+            6,
+            generators={"line": line, "ring": ring},
+        )
+        assert {r.name for r in reports} == {"line", "ring"}

@@ -1,0 +1,131 @@
+"""Tests for QAOA workloads, the Fig. 4 pair and the evaluation suite."""
+
+import pytest
+
+from repro.circuit import size_parameters
+from repro.core import InteractionGraph
+from repro.workloads import (
+    FAMILIES,
+    FIG4_NUM_GATES,
+    FIG4_NUM_QUBITS,
+    evaluation_suite,
+    fig4_qaoa_circuit,
+    fig4_random_circuit,
+    qaoa_maxcut,
+    random_maxcut_instance,
+    small_suite,
+)
+
+
+class TestMaxCutInstance:
+    def test_connected_and_simple(self):
+        edges = random_maxcut_instance(8, 12, seed=0)
+        assert len(edges) == 12
+        assert len(set(edges)) == 12
+        assert all(a < b for a, b in edges)
+        # connectivity via the interaction-graph helper
+        graph = InteractionGraph(8)
+        for a, b in edges:
+            graph.add_interaction(a, b)
+        assert graph.is_connected()
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            random_maxcut_instance(4, 2)  # below spanning tree
+        with pytest.raises(ValueError):
+            random_maxcut_instance(4, 7)  # above complete graph
+
+    def test_deterministic(self):
+        assert random_maxcut_instance(6, 9, seed=5) == random_maxcut_instance(
+            6, 9, seed=5
+        )
+
+
+class TestQaoa:
+    def test_interaction_graph_is_problem_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        circuit = qaoa_maxcut(4, edges, num_layers=3, seed=0)
+        graph = InteractionGraph.from_circuit(circuit)
+        assert sorted((a, b) for a, b, _ in graph.edges()) == sorted(edges)
+        # Every edge interacts once per layer.
+        assert all(w == 3 for _, _, w in graph.edges())
+
+    def test_cx_entangler_triples_gateprint(self):
+        edges = [(0, 1)]
+        rzz_form = qaoa_maxcut(2, edges, num_layers=1, entangler="rzz", seed=0)
+        cx_form = qaoa_maxcut(2, edges, num_layers=1, entangler="cx", seed=0)
+        assert rzz_form.count_ops()["rzz"] == 1
+        assert cx_form.count_ops()["cx"] == 2
+
+    def test_angle_validation(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(3, [(0, 1)], num_layers=2, gammas=[0.1], betas=[0.1, 0.2])
+
+    def test_mixer_rotations(self):
+        base = qaoa_maxcut(3, [(0, 1)], num_layers=1, mixer_rotations=1, seed=0)
+        rich = qaoa_maxcut(3, [(0, 1)], num_layers=1, mixer_rotations=3, seed=0)
+        assert rich.num_gates == base.num_gates + 2 * 3
+
+    def test_unknown_entangler(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut(3, [(0, 1)], entangler="magic")
+
+
+class TestFig4Pair:
+    def test_size_parameters_match_paper(self):
+        qaoa = size_parameters(fig4_qaoa_circuit())
+        rand = size_parameters(fig4_random_circuit())
+        assert qaoa.num_qubits == rand.num_qubits == FIG4_NUM_QUBITS
+        assert qaoa.num_gates == rand.num_gates == FIG4_NUM_GATES
+        assert abs(qaoa.two_qubit_fraction - 0.135) < 0.02
+        assert abs(rand.two_qubit_fraction - 0.135) < 0.02
+
+    def test_structural_contrast(self):
+        """The figure's message: same size, different graph structure."""
+        qaoa_graph = InteractionGraph.from_circuit(fig4_qaoa_circuit())
+        rand_graph = InteractionGraph.from_circuit(fig4_random_circuit())
+        # Random circuit approaches full connectivity (15 possible edges).
+        assert rand_graph.num_edges > qaoa_graph.num_edges
+        # QAOA edges carry heavy repeated weights (one per layer).
+        qaoa_max_weight = max(w for _, _, w in qaoa_graph.edges())
+        rand_max_weight = max(w for _, _, w in rand_graph.edges())
+        assert qaoa_max_weight > rand_max_weight
+
+
+class TestEvaluationSuite:
+    def test_size_and_families(self):
+        suite = evaluation_suite(num_circuits=12, seed=0, max_qubits=12, max_gates=100)
+        assert len(suite) == 12
+        assert {b.family for b in suite} == set(FAMILIES)
+
+    def test_deterministic(self):
+        a = evaluation_suite(num_circuits=9, seed=3, max_qubits=10, max_gates=50)
+        b = evaluation_suite(num_circuits=9, seed=3, max_qubits=10, max_gates=50)
+        assert [x.circuit for x in a] == [y.circuit for y in b]
+
+    def test_respects_bounds(self):
+        suite = evaluation_suite(num_circuits=30, seed=1, max_qubits=10, max_gates=80)
+        for benchmark in suite:
+            params = size_parameters(benchmark.circuit)
+            if benchmark.family == "random":
+                assert params.num_gates <= 80
+                assert 0.05 <= params.two_qubit_fraction <= 0.95
+
+    def test_family_filter(self):
+        suite = evaluation_suite(
+            num_circuits=6, seed=0, max_qubits=8, max_gates=40, families=("random",)
+        )
+        assert all(b.family == "random" for b in suite)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown families"):
+            evaluation_suite(num_circuits=3, families=("quantum",))
+
+    def test_synthetic_flag(self):
+        suite = small_suite(6)
+        for benchmark in suite:
+            assert benchmark.is_synthetic == (benchmark.family != "real")
+
+    def test_small_suite_is_small(self):
+        for benchmark in small_suite(9):
+            assert benchmark.circuit.num_qubits <= 16

@@ -1,0 +1,129 @@
+"""Semantic tests for the reversible-logic workloads (classical oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit
+from repro.sim import Simulator, basis_state
+from repro.workloads import (
+    cuccaro_adder,
+    increment_circuit,
+    majority_vote_circuit,
+    parity_circuit,
+    random_reversible_circuit,
+)
+
+
+def run_classical(circuit: Circuit, bits):
+    """Run a reversible circuit on a basis state; return the output bits."""
+    state = basis_state(circuit.num_qubits, bits)
+    out = Simulator(0).run(circuit.without_directives(), initial_state=state)
+    amplitudes = out.state.reshape(-1)
+    index = int(np.argmax(np.abs(amplitudes)))
+    assert abs(amplitudes[index]) == pytest.approx(1.0)
+    n = circuit.num_qubits
+    return [(index >> (n - 1 - q)) & 1 for q in range(n)]
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_exhaustive_addition(self, n):
+        adder = cuccaro_adder(n)
+        for a in range(2 ** n):
+            for b in range(2 ** n):
+                bits = [0] * (2 * n + 2)
+                for i in range(n):
+                    bits[1 + i] = (b >> i) & 1
+                    bits[n + 1 + i] = (a >> i) & 1
+                out = run_classical(adder, bits)
+                total = sum(out[1 + i] << i for i in range(n))
+                total += out[2 * n + 1] << n
+                assert total == a + b, (a, b)
+                # The a register is restored.
+                restored = sum(out[n + 1 + i] << i for i in range(n))
+                assert restored == a
+
+    def test_carry_in(self):
+        adder = cuccaro_adder(2)
+        bits = [1, 1, 0, 1, 0, 0]  # c=1, b=1, a=1
+        out = run_classical(adder, bits)
+        total = out[1] + (out[2] << 1) + (out[5] << 2)
+        assert total == 3  # 1 + 1 + carry-in 1
+
+    def test_gate_vocabulary(self):
+        assert set(cuccaro_adder(3).count_ops()) <= {"x", "cx", "ccx"}
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+
+class TestParity:
+    @pytest.mark.parametrize(
+        "bits", [[0, 0, 0], [1, 0, 0], [1, 1, 0], [1, 1, 1]]
+    )
+    def test_parity(self, bits):
+        circuit = parity_circuit(3)
+        out = run_classical(circuit, bits + [0])
+        assert out[3] == sum(bits) % 2
+
+
+class TestIncrement:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_exhaustive(self, n):
+        circuit = increment_circuit(n)
+        ancillas = circuit.num_qubits - n
+        for value in range(2 ** n):
+            bits = [(value >> i) & 1 for i in range(n)] + [0] * ancillas
+            out = run_classical(circuit, bits)
+            result = sum(out[i] << i for i in range(n))
+            assert result == (value + 1) % 2 ** n
+            # Ancillas restored.
+            assert all(out[n + i] == 0 for i in range(ancillas))
+
+
+class TestMajorityVote:
+    @pytest.mark.parametrize(
+        "votes,expected",
+        [
+            ([0, 0, 0], 0),
+            ([1, 0, 0], 0),
+            ([1, 1, 0], 1),
+            ([1, 1, 1], 1),
+        ],
+    )
+    def test_majority_of_three(self, votes, expected):
+        circuit = majority_vote_circuit(3)
+        out = run_classical(circuit, votes + [0])
+        assert out[3] == expected
+
+    def test_rejects_even_voters(self):
+        with pytest.raises(ValueError):
+            majority_vote_circuit(4)
+
+
+class TestRandomReversible:
+    def test_gate_vocabulary(self):
+        circuit = random_reversible_circuit(6, 100, seed=0)
+        assert set(circuit.count_ops()) <= {"x", "cx", "ccx"}
+
+    def test_size_and_determinism(self):
+        a = random_reversible_circuit(5, 64, seed=1)
+        assert len(a) == 64
+        assert a == random_reversible_circuit(5, 64, seed=1)
+
+    def test_is_classical_permutation(self):
+        # On any basis state the output is a single basis state.
+        circuit = random_reversible_circuit(4, 30, seed=2)
+        out = run_classical(circuit, [1, 0, 1, 0])
+        assert all(bit in (0, 1) for bit in out)
+
+    def test_degrades_gracefully_on_small_registers(self):
+        circuit = random_reversible_circuit(2, 50, seed=3)
+        assert set(circuit.count_ops()) <= {"x", "cx"}
+        single = random_reversible_circuit(1, 20, seed=4)
+        assert set(single.count_ops()) <= {"x"}
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            random_reversible_circuit(4, 10, toffoli_fraction=0.8, cnot_fraction=0.5)
