@@ -1,0 +1,24 @@
+# Developer entry points.  The package is laid out under src/, so every
+# target exports PYTHONPATH=src rather than requiring an install.
+
+PY ?= python
+
+.PHONY: test bench-routing bench-smoke bench-figures
+
+# Tier-1 test suite.
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Full routing hot-path benchmark; rewrites the committed baseline
+# BENCH_routing.json (wall times, swap counts, speedup ratios).
+bench-routing:
+	PYTHONPATH=src $(PY) benchmarks/bench_routing_hotpath.py
+
+# CI smoke gate: routes the 10-circuit subset and fails on a >25%
+# speedup regression (or any swap-count drift) vs BENCH_routing.json.
+bench-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_routing_hotpath.py --smoke
+
+# The paper-figure benchmark harness (slow; full 200-circuit sweep).
+bench-figures:
+	PYTHONPATH=src $(PY) -m pytest benchmarks -q

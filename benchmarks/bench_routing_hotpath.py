@@ -1,0 +1,210 @@
+"""Routing hot-path benchmark: incremental SABRE vs the legacy path.
+
+Routes a fixed-seed benchmark suite onto the 100-qubit extended
+Surface-17 twice — once with the incremental/vectorised scoring path
+(``incremental=True``, the default) and once with the verbatim pre-
+optimisation implementation kept behind ``incremental=False`` — and
+records wall times, per-circuit swap counts and the speedup ratio in
+``BENCH_routing.json``.
+
+The two paths must agree **bit for bit** (same routed circuits, same
+swap counts, same final layouts); the run aborts if they do not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_routing_hotpath.py            # full run
+    PYTHONPATH=src python benchmarks/bench_routing_hotpath.py --smoke    # CI gate
+
+``--smoke`` routes the 10-circuit subset only and exits non-zero when
+the measured speedup regresses by more than 25% against the committed
+baseline (or when swap counts drift, which would mean the two paths
+diverged behaviourally).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.compiler.decompose import decompose_circuit
+from repro.compiler.layout import Layout
+from repro.compiler.routing import (
+    NoiseAwareRouter,
+    SabreRouter,
+    clear_distance_cache,
+)
+from repro.hardware.device import surface17_extended_device
+from repro.workloads.suite import evaluation_suite
+
+ROUTER_SEED = 11
+SUITE_SEED = 2022
+DEVICE_QUBITS = 100
+FULL_CIRCUITS = 30
+FULL_MAX_GATES = 2000
+SMOKE_CIRCUITS = 10
+SMOKE_MAX_GATES = 2000
+#: Smoke gate: fail when speedup < (1 - this) * baseline speedup.
+REGRESSION_TOLERANCE = 0.25
+
+_ROUTERS = {"sabre": SabreRouter, "noise_aware": NoiseAwareRouter}
+
+
+def _workload(num_circuits: int, max_gates: int):
+    device = surface17_extended_device(DEVICE_QUBITS)
+    suite = evaluation_suite(
+        num_circuits=num_circuits,
+        seed=SUITE_SEED,
+        max_qubits=54,
+        max_gates=max_gates,
+    )
+    circuits = [decompose_circuit(b.circuit, device.gate_set) for b in suite]
+    names = [b.source for b in suite]
+    return device, circuits, names
+
+
+def _route_all(router_cls, incremental: bool, device, circuits):
+    results = []
+    start = time.perf_counter()
+    for circuit in circuits:
+        router = router_cls(seed=ROUTER_SEED, incremental=incremental)
+        layout = Layout.trivial(circuit.num_qubits, device.num_qubits)
+        results.append(router.route(circuit, device, layout))
+    return time.perf_counter() - start, results
+
+
+def _bench_router(key: str, device, circuits, names, repeats: int):
+    router_cls = _ROUTERS[key]
+    clear_distance_cache()
+    _route_all(router_cls, True, device, circuits)  # warm caches
+    incremental_s = min(
+        _route_all(router_cls, True, device, circuits)[0] for _ in range(repeats)
+    )
+    _, incremental_results = _route_all(router_cls, True, device, circuits)
+    legacy_s, legacy_results = _route_all(router_cls, False, device, circuits)
+    legacy_s = min(
+        [legacy_s]
+        + [
+            _route_all(router_cls, False, device, circuits)[0]
+            for _ in range(repeats - 1)
+        ]
+    )
+
+    identical = all(
+        a.circuit == b.circuit
+        and a.swap_count == b.swap_count
+        and a.final_layout == b.final_layout
+        for a, b in zip(incremental_results, legacy_results)
+    )
+    if not identical:
+        raise SystemExit(
+            f"{key}: incremental and legacy paths diverged — refusing to "
+            "record benchmark numbers for non-equivalent code paths"
+        )
+    return {
+        "incremental_s": round(incremental_s, 4),
+        "legacy_s": round(legacy_s, 4),
+        "speedup": round(legacy_s / incremental_s, 2),
+        "total_swaps": sum(r.swap_count for r in incremental_results),
+        "identical_outputs": True,
+        "per_circuit_swaps": {
+            name: r.swap_count for name, r in zip(names, incremental_results)
+        },
+    }
+
+
+def _run(num_circuits: int, max_gates: int, repeats: int):
+    device, circuits, names = _workload(num_circuits, max_gates)
+    return {
+        key: _bench_router(key, device, circuits, names, repeats)
+        for key in _ROUTERS
+    }
+
+
+def run_full(repeats: int) -> dict:
+    return {
+        "benchmark": "suite-routing-hotpath",
+        "device": f"surface17-ext-{DEVICE_QUBITS}",
+        "router_seed": ROUTER_SEED,
+        "suite_seed": SUITE_SEED,
+        "repeats": repeats,
+        "full": {
+            "num_circuits": FULL_CIRCUITS,
+            "max_gates": FULL_MAX_GATES,
+            **_run(FULL_CIRCUITS, FULL_MAX_GATES, repeats),
+        },
+        "smoke": {
+            "num_circuits": SMOKE_CIRCUITS,
+            "max_gates": SMOKE_MAX_GATES,
+            **_run(SMOKE_CIRCUITS, SMOKE_MAX_GATES, repeats),
+        },
+    }
+
+
+def run_smoke(baseline_path: Path, repeats: int) -> int:
+    """Route the smoke subset and gate on the committed baseline."""
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; run the full bench first")
+        return 1
+    baseline = json.loads(baseline_path.read_text())["smoke"]
+    current = _run(SMOKE_CIRCUITS, SMOKE_MAX_GATES, repeats)
+    failed = False
+    for key in _ROUTERS:
+        base, cur = baseline[key], current[key]
+        floor = (1.0 - REGRESSION_TOLERANCE) * base["speedup"]
+        status = "ok"
+        if cur["per_circuit_swaps"] != base["per_circuit_swaps"]:
+            status = "SWAP-COUNT DRIFT (behaviour changed)"
+            failed = True
+        elif cur["speedup"] < floor:
+            status = f"REGRESSION (floor {floor:.2f}x)"
+            failed = True
+        print(
+            f"{key:12s} speedup {cur['speedup']:5.2f}x "
+            f"(baseline {base['speedup']:.2f}x, swaps "
+            f"{cur['total_swaps']}) ... {status}"
+        )
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_routing.json",
+        help="result/baseline JSON path (default: repo root BENCH_routing.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the 10-circuit subset and compare against the baseline "
+        "instead of rewriting it",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per path (min is kept)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.output, args.repeats)
+    payload = run_full(args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    for section in ("full", "smoke"):
+        for key in _ROUTERS:
+            entry = payload[section][key]
+            print(
+                f"{section:5s} {key:12s} {entry['legacy_s']:7.3f}s -> "
+                f"{entry['incremental_s']:7.3f}s  ({entry['speedup']:.2f}x, "
+                f"{entry['total_swaps']} swaps, identical outputs)"
+            )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ sweep.  The sweep runs once per benchmark session (~1 minute) and is
 shared by the fig3/fig5/table1 benches.
 """
 
+import os
 import sys
 
 import pytest
@@ -19,6 +20,13 @@ from repro.workloads import evaluation_suite
 SUITE_MAX_GATES = 20000
 SUITE_SEED = 2022
 SUITE_SIZE = 200
+
+
+def _suite_workers():
+    """Worker count for the sweep: REPRO_WORKERS=N enables the parallel
+    runner (0/unset keeps the classic serial loop)."""
+    value = int(os.environ.get("REPRO_WORKERS", "0"))
+    return value if value > 0 else None
 
 
 @pytest.fixture(scope="session")
@@ -37,7 +45,12 @@ def paper_records(paper_suite):
         if index % 50 == 0:
             print(f"  mapping {index}/{total}: {name}", file=sys.stderr)
 
-    return run_suite(paper_suite, device=paper_configuration(), progress=progress)
+    return run_suite(
+        paper_suite,
+        device=paper_configuration(),
+        progress=progress,
+        workers=_suite_workers(),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -73,6 +73,7 @@ from .metrics import (
     product_fidelity,
 )
 from .workloads import evaluation_suite, small_suite
+from .runtime import SuiteRunReport, parallel_map, run_suite_parallel
 from .fullstack import ControlModel, FullStack
 from .sim import Simulator, statevector, verify_mapping
 
@@ -126,6 +127,9 @@ __all__ = [
     "product_fidelity",
     "evaluation_suite",
     "small_suite",
+    "SuiteRunReport",
+    "parallel_map",
+    "run_suite_parallel",
     "ControlModel",
     "FullStack",
     "Simulator",

@@ -163,7 +163,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"onto {device.name} with {args.mapper} ...",
         file=sys.stderr,
     )
-    records = run_suite(suite, device=device, mapper=mapper)
+    records = run_suite(suite, device=device, mapper=mapper, workers=args.workers)
     report = generate_report(
         records,
         title=f"Mapping report: {Path(args.corpus).name}",
@@ -202,7 +202,7 @@ def _reproduce(args: argparse.Namespace) -> int:
             num_circuits=60, seed=2022, max_qubits=30, max_gates=2000
         )
     print(f"mapping {len(suite)} benchmarks ...", file=sys.stderr)
-    records = run_suite(suite)
+    records = run_suite(suite, workers=args.workers)
     print(format_fig3(fig3_data(records)))
     print(format_fig4(run_fig4()))
     print(format_fig5(fig5_data(records)))
@@ -266,12 +266,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--mapper", default="trivial", choices=sorted(_MAPPERS))
     report.add_argument("-o", "--output", help="markdown output path")
     report.add_argument("--csv", help="also dump per-circuit records as CSV")
+    report.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        help="map circuits across N worker processes (default: serial)",
+    )
     report.set_defaults(handler=_cmd_report)
 
     reproduce = commands.add_parser(
         "reproduce", help="regenerate the paper's figures and table"
     )
     reproduce.add_argument("--full", action="store_true")
+    reproduce.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        help="map circuits across N worker processes (default: serial)",
+    )
     reproduce.set_defaults(handler=_reproduce)
 
     return parser

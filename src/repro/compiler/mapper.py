@@ -67,6 +67,8 @@ class MappingResult:
         Virtual-to-physical maps at circuit start/end.
     swap_count:
         SWAPs inserted by the router.
+    bridge_count:
+        BRIDGE realisations emitted by the router (4 CNOTs each).
     device / mapper_name:
         Provenance for reports.
     """
@@ -80,12 +82,15 @@ class MappingResult:
     swap_count: int
     device: Device
     mapper_name: str
+    bridge_count: int = 0
 
     # ------------------------------------------------------------------
     @cached_property
     def overhead(self) -> OverheadReport:
         """Gate/depth overhead of mapping (decomposed vs mapped)."""
-        return overhead_report(self.decomposed, self.mapped, self.swap_count)
+        return overhead_report(
+            self.decomposed, self.mapped, self.swap_count, self.bridge_count
+        )
 
     @cached_property
     def fidelity(self) -> FidelityReport:
@@ -197,6 +202,7 @@ class QuantumMapper:
             swap_count=routing.swap_count,
             device=device,
             mapper_name=self.name,
+            bridge_count=routing.bridge_count,
         )
 
 

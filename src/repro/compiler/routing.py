@@ -23,8 +23,9 @@ decomposition pass first) and emit physical circuits containing explicit
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -40,6 +41,7 @@ __all__ = [
     "TrivialRouter",
     "SabreRouter",
     "NoiseAwareRouter",
+    "clear_distance_cache",
 ]
 
 
@@ -60,12 +62,105 @@ class RoutingResult:
         Virtual-to-physical maps before and after execution.
     swap_count:
         Number of SWAP gates inserted.
+    bridge_count:
+        Number of BRIDGE realisations emitted (4 CNOTs each, layout
+        unchanged) — the other routing cost besides SWAPs.
     """
 
     circuit: Circuit
     initial_layout: Dict[int, int]
     final_layout: Dict[int, int]
     swap_count: int
+    bridge_count: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Per-device distance-table cache
+#
+# Routers are constructed freely (one per mapper, per suite circuit, per
+# worker) but devices are few, so the expensive all-pairs tables are
+# memoised per device rather than recomputed on every ``route()`` call.
+# Hop matrices key on the coupling graph alone; noise-weighted matrices
+# additionally key on the calibration (its :meth:`Calibration.cache_key`
+# acts as the calibration version).  Cached matrices are read-only.
+# ---------------------------------------------------------------------------
+
+_DISTANCE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_DISTANCE_CACHE_SIZE = 32
+
+
+def clear_distance_cache() -> None:
+    """Drop all memoised per-device distance tables."""
+    _DISTANCE_CACHE.clear()
+    _INCIDENT_CACHE.clear()
+
+
+def _cached_distance_matrix(
+    key: tuple, build: Callable[[], np.ndarray]
+) -> np.ndarray:
+    try:
+        matrix = _DISTANCE_CACHE.pop(key)
+    except KeyError:
+        matrix = build()
+        matrix.setflags(write=False)
+    _DISTANCE_CACHE[key] = matrix
+    while len(_DISTANCE_CACHE) > _DISTANCE_CACHE_SIZE:
+        _DISTANCE_CACHE.popitem(last=False)
+    return matrix
+
+
+_INCIDENT_CACHE: "OrderedDict[object, List[Tuple[Tuple[int, int], ...]]]" = (
+    OrderedDict()
+)
+
+
+def _incident_edges(coupling) -> List[Tuple[Tuple[int, int], ...]]:
+    """Per-qubit tuples of incident ``(a, b)`` edges (a < b), memoised.
+
+    The router's candidate generation touches this every swap round;
+    rebuilding per-qubit frozensets from the adjacency each time shows up
+    in profiles, so the table is cached per coupling graph alongside the
+    distance matrices.
+    """
+    try:
+        table = _INCIDENT_CACHE.pop(coupling)
+    except KeyError:
+        buckets: List[List[Tuple[int, int]]] = [
+            [] for _ in range(coupling.num_qubits)
+        ]
+        for a, b in coupling.edges:
+            buckets[a].append((a, b))
+            buckets[b].append((a, b))
+        table = [tuple(bucket) for bucket in buckets]
+    _INCIDENT_CACHE[coupling] = table
+    while len(_INCIDENT_CACHE) > _DISTANCE_CACHE_SIZE:
+        _INCIDENT_CACHE.popitem(last=False)
+    return table
+
+
+def _endpoint_arrays(
+    front_gates: Sequence[Gate],
+    extended: Sequence[Gate],
+    v2p: Sequence[int],
+) -> np.ndarray:
+    """Physical endpoints of the scored gates, shape ``(2, front+extended)``.
+
+    Row 0 holds first operands, row 1 second operands; front-layer gates
+    come before the extended set.
+    """
+    total = len(front_gates) + len(extended)
+    endpoints = np.empty((2, total), dtype=np.intp)
+    endpoints[0] = np.fromiter(
+        (v2p[g.qubits[0]] for gs in (front_gates, extended) for g in gs),
+        dtype=np.intp,
+        count=total,
+    )
+    endpoints[1] = np.fromiter(
+        (v2p[g.qubits[1]] for gs in (front_gates, extended) for g in gs),
+        dtype=np.intp,
+        count=total,
+    )
+    return endpoints
 
 
 class Router:
@@ -133,6 +228,7 @@ class TrivialRouter(Router):
         initial = layout.as_dict()
         out = Circuit(device.num_qubits, name=circuit.name)
         swap_count = 0
+        bridge_count = 0
         for gate in circuit:
             if not gate.is_two_qubit:
                 out.append(self._remap(gate, layout))
@@ -147,6 +243,7 @@ class TrivialRouter(Router):
             ):
                 middle = coupling.shortest_path(pa, pb)[1]
                 out.extend(_bridge_cx(pa, middle, pb))
+                bridge_count += 1
                 continue
             if not coupling.are_adjacent(pa, pb):
                 path = coupling.shortest_path(pa, pb)
@@ -157,7 +254,9 @@ class TrivialRouter(Router):
                 pa = layout.physical(a)
                 pb = layout.physical(b)
             out.append(Gate(gate.name, (pa, pb), gate.params))
-        return RoutingResult(out, initial, layout.as_dict(), swap_count)
+        return RoutingResult(
+            out, initial, layout.as_dict(), swap_count, bridge_count
+        )
 
 
 def _bridge_cx(control: int, middle: int, target: int) -> List[Gate]:
@@ -194,6 +293,16 @@ class SabreRouter(Router):
         after which decay factors reset.
     seed:
         Tie-breaking randomisation seed (ties are common on lattices).
+    incremental:
+        Score swap candidates by the *delta* of the two moved qubits
+        against the cached distance tables (the fast path).  When false,
+        fall back to the legacy copy-the-layout-and-rescore path; both
+        paths choose identical swaps (ties included) whenever the
+        distance metric is integer-valued, which the property tests pin.
+    stall_limit:
+        Swap rounds without front-layer progress before the router falls
+        back to deterministic shortest-path routing for the first blocked
+        gate.  ``None`` uses ``10 * max(10, device.num_qubits)``.
     """
 
     name = "sabre"
@@ -205,21 +314,43 @@ class SabreRouter(Router):
         decay_delta: float = 0.001,
         decay_reset_interval: int = 5,
         seed: Optional[int] = 11,
+        incremental: bool = True,
+        stall_limit: Optional[int] = None,
     ) -> None:
         self.lookahead_size = lookahead_size
         self.lookahead_weight = lookahead_weight
         self.decay_delta = decay_delta
         self.decay_reset_interval = decay_reset_interval
+        self.incremental = incremental
+        self.stall_limit = stall_limit
         self._rng = np.random.default_rng(seed)
 
     # -- distance metric -------------------------------------------------
+    def _build_distance_matrix(self, device: Device) -> np.ndarray:
+        """Uncached distance-metric construction (hop counts)."""
+        dist = device.coupling.distance_matrix().astype(float)
+        # Disconnected pairs come back as -1 sentinels; a negative
+        # "distance" would make the heuristic *prefer* unreachable pairs,
+        # so map them to +inf.
+        dist[dist < 0] = math.inf
+        return dist
+
+    def _distance_cache_key(self, device: Device) -> tuple:
+        return ("hops", device.coupling)
+
     def _distance_matrix(self, device: Device) -> np.ndarray:
-        return device.coupling.distance_matrix().astype(float)
+        """Memoised distance matrix for a device (read-only)."""
+        return _cached_distance_matrix(
+            self._distance_cache_key(device),
+            lambda: self._build_distance_matrix(device),
+        )
 
     # ---------------------------------------------------------------------
     def route(
         self, circuit: Circuit, device: Device, layout: Layout
     ) -> RoutingResult:
+        if not self.incremental:
+            return self._route_legacy(circuit, device, layout)
         self._validate(circuit, device, layout)
         coupling = device.coupling
         dist = self._distance_matrix(device)
@@ -232,7 +363,129 @@ class SabreRouter(Router):
         swap_count = 0
         rounds_since_progress = 0
         swap_rounds = 0
-        stall_limit = 10 * max(10, device.num_qubits)
+        stall_limit = (
+            self.stall_limit
+            if self.stall_limit is not None
+            else 10 * max(10, device.num_qubits)
+        )
+        # Hot-loop working state: the per-node two-qubit flags are fixed,
+        # and layout._v2p / coupling._adjacency are read directly (the
+        # accessor methods dominate profiles otherwise).
+        gates = circuit.gates
+        is_2q = [g.is_two_qubit for g in gates]
+        v2p = layout._v2p
+        adjacency = coupling._adjacency
+
+        def executable(node: int) -> bool:
+            if not is_2q[node]:
+                return True
+            qa, qb = gates[node].qubits
+            return v2p[qb] in adjacency[v2p[qa]]
+
+        def drain() -> bool:
+            """Emit every currently executable gate; True if any ran."""
+            progressed = False
+            while True:
+                ready = [n for n in sorted(frontier.ready) if executable(n)]
+                if not ready:
+                    return progressed
+                for node in ready:
+                    out.append(self._remap(gates[node], layout))
+                    frontier.complete(node)
+                progressed = True
+
+        # The blocked front layer and its look-ahead set only change when
+        # gates execute, so they are cached across consecutive swap
+        # rounds (swaps move the layout, not the dependency frontier),
+        # together with the physical endpoint arrays: after a swap those
+        # are replaced by the chosen candidate's already-computed
+        # post-swap rows instead of being rebuilt from the layout.
+        front_gates: Optional[List[Gate]] = None
+        extended: List[Gate] = []
+        endpoints: Optional[np.ndarray] = None
+        num_front = 0
+        incident = _incident_edges(coupling)
+        while True:
+            if drain():
+                decay[:] = 1.0
+                rounds_since_progress = 0
+                front_gates = None
+            if frontier.exhausted:
+                break
+            if front_gates is None:
+                front_gates = [gates[n] for n in frontier.ready if is_2q[n]]
+                extended = self._extended_set(dag, frontier, is_2q, gates)
+                num_front = len(front_gates)
+                if front_gates:
+                    endpoints = _endpoint_arrays(front_gates, extended, v2p)
+            if not front_gates:  # pragma: no cover - defensive
+                raise RoutingError("blocked frontier without two-qubit gates")
+            if rounds_since_progress > stall_limit:
+                # Fall back to deterministic shortest-path routing for the
+                # first blocked gate; guarantees global progress.
+                gate = front_gates[0]
+                path = coupling.shortest_path(
+                    layout.physical(gate.qubits[0]), layout.physical(gate.qubits[1])
+                )
+                for i in range(len(path) - 2):
+                    out.append(Gate("swap", (path[i], path[i + 1])))
+                    layout.swap_physical(path[i], path[i + 1])
+                    swap_count += 1
+                rounds_since_progress = 0
+                front_gates = None  # endpoint cache is stale now
+                continue
+            involved = set(endpoints[0, :num_front])
+            involved.update(endpoints[1, :num_front])
+            candidates: Set[Tuple[int, int]] = set()
+            for physical in involved:
+                candidates.update(incident[physical])
+            ordered = sorted(candidates)
+            scores, moved = self._score_candidates(
+                endpoints, ordered, num_front, len(extended), dist, decay
+            )
+            chosen = self._select(scores)
+            best_swap = ordered[chosen]
+            endpoints = moved[chosen]
+            out.append(Gate("swap", best_swap))
+            layout.swap_physical(*best_swap)
+            swap_count += 1
+            decay[best_swap[0]] += self.decay_delta
+            decay[best_swap[1]] += self.decay_delta
+            swap_rounds += 1
+            rounds_since_progress += 1
+            if swap_rounds % self.decay_reset_interval == 0:
+                decay[:] = 1.0
+        return RoutingResult(out, initial, layout.as_dict(), swap_count)
+
+    # ---------------------------------------------------------------------
+    # Legacy (pre-optimisation) path, selected with ``incremental=False``.
+    #
+    # Kept verbatim — per-call distance-matrix construction, per-round
+    # front/extended recomputation, copy-the-layout candidate scoring —
+    # so the equivalence property tests and the routing benchmark compare
+    # the fast path against the real original implementation rather than
+    # a half-optimised hybrid.
+    # ---------------------------------------------------------------------
+    def _route_legacy(
+        self, circuit: Circuit, device: Device, layout: Layout
+    ) -> RoutingResult:
+        self._validate(circuit, device, layout)
+        coupling = device.coupling
+        dist = self._build_distance_matrix(device)
+        layout = layout.copy()
+        initial = layout.as_dict()
+        out = Circuit(device.num_qubits, name=circuit.name)
+        dag = CircuitDag(circuit)
+        frontier = ExecutionFrontier(dag)
+        decay = np.ones(device.num_qubits)
+        swap_count = 0
+        rounds_since_progress = 0
+        swap_rounds = 0
+        stall_limit = (
+            self.stall_limit
+            if self.stall_limit is not None
+            else 10 * max(10, device.num_qubits)
+        )
 
         def executable(node: int) -> bool:
             gate = dag.gate(node)
@@ -278,8 +531,8 @@ class SabreRouter(Router):
                     swap_count += 1
                 rounds_since_progress = 0
                 continue
-            extended = self._extended_set(dag, frontier)
-            best_swap = self._choose_swap(
+            extended = self._extended_set_legacy(dag, frontier)
+            best_swap = self._choose_swap_naive(
                 front_gates, extended, layout, coupling, dist, decay
             )
             out.append(Gate("swap", best_swap))
@@ -293,11 +546,10 @@ class SabreRouter(Router):
                 decay[:] = 1.0
         return RoutingResult(out, initial, layout.as_dict(), swap_count)
 
-    # ---------------------------------------------------------------------
-    def _extended_set(
+    def _extended_set_legacy(
         self, dag: CircuitDag, frontier: ExecutionFrontier
     ) -> List[Gate]:
-        """Upcoming two-qubit gates beyond the front layer (BFS order)."""
+        """Original extended-set BFS (per-node accessor calls)."""
         result: List[Gate] = []
         seen: Set[int] = set(frontier.ready)
         queue = list(frontier.ready)
@@ -317,9 +569,10 @@ class SabreRouter(Router):
                         break
         return result
 
-    def _swap_candidates(
+    def _swap_candidates_legacy(
         self, front_gates: Sequence[Gate], layout: Layout, coupling
     ) -> List[Tuple[int, int]]:
+        """Original candidate generation (per-call neighbor frozensets)."""
         involved: Set[int] = set()
         for gate in front_gates:
             involved.add(layout.physical(gate.qubits[0]))
@@ -328,6 +581,61 @@ class SabreRouter(Router):
         for physical in involved:
             for neighbor in coupling.neighbors(physical):
                 candidates.add(tuple(sorted((physical, neighbor))))
+        return sorted(candidates)
+
+    # ---------------------------------------------------------------------
+    def _extended_set(
+        self,
+        dag: CircuitDag,
+        frontier: ExecutionFrontier,
+        is_2q: Optional[Sequence[bool]] = None,
+        gates: Optional[Sequence[Gate]] = None,
+    ) -> List[Gate]:
+        """Upcoming two-qubit gates beyond the front layer (BFS order).
+
+        ``is_2q`` / ``gates`` optionally supply the per-node two-qubit
+        flags and gate list the routing loop already precomputed,
+        avoiding repeated property lookups on the hot path (the
+        ``Circuit.gates`` accessor copies the whole gate list).
+        """
+        result: List[Gate] = []
+        limit = self.lookahead_size
+        if limit <= 0:
+            return result
+        if gates is None:
+            gates = dag.circuit.gates
+        if is_2q is None:
+            is_2q = [g.is_two_qubit for g in gates]
+        seen: Set[int] = set(frontier.ready)
+        queue = list(frontier.ready)
+        succs = dag._succs
+        index = 0
+        while index < len(queue) and len(result) < limit:
+            node = queue[index]
+            index += 1
+            for succ in succs[node]:
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                queue.append(succ)
+                if is_2q[succ]:
+                    result.append(gates[succ])
+                    if len(result) >= limit:
+                        break
+        return result
+
+    def _swap_candidates(
+        self, front_gates: Sequence[Gate], layout: Layout, coupling
+    ) -> List[Tuple[int, int]]:
+        incident = _incident_edges(coupling)
+        v2p = layout._v2p
+        involved: Set[int] = set()
+        for gate in front_gates:
+            involved.add(v2p[gate.qubits[0]])
+            involved.add(v2p[gate.qubits[1]])
+        candidates: Set[Tuple[int, int]] = set()
+        for physical in involved:
+            candidates.update(incident[physical])
         return sorted(candidates)
 
     def _heuristic(
@@ -349,6 +657,66 @@ class SabreRouter(Router):
         ) / len(extended)
         return front_cost + self.lookahead_weight * look_cost
 
+    def _score_candidates(
+        self,
+        endpoints: np.ndarray,
+        candidates: Sequence[Tuple[int, int]],
+        num_front: int,
+        num_extended: int,
+        dist: np.ndarray,
+        decay: np.ndarray,
+    ) -> Tuple[List[float], np.ndarray]:
+        """Vectorised incremental rescoring of every swap candidate.
+
+        Only the two moved qubits change any gate distance, so each
+        candidate's post-swap endpoint pairs are the current pairs with
+        ``a <-> b`` substituted — one fancy-indexed gather against the
+        cached distance matrix scores every candidate at once.  For the
+        hop metric all sums are of exact small integers in float64, so
+        scores are bit-identical to the naive path's; real-valued metrics
+        (noise-aware) agree to float round-off.
+
+        Returns the per-candidate scores plus the post-swap endpoint
+        tensor of shape ``(candidates, 2, front+extended)`` so the caller
+        can adopt the chosen candidate's slice instead of rebuilding from
+        the layout.
+        """
+        cand = np.asarray(candidates, dtype=np.intp)
+        swap_a = cand[:, 0, None, None]
+        swap_b = cand[:, 1, None, None]
+        moved = np.where(
+            endpoints == swap_a,
+            swap_b,
+            np.where(endpoints == swap_b, swap_a, endpoints),
+        )
+        trial_dist = dist[moved[:, 0], moved[:, 1]]  # (candidates, front+ext)
+        cost = trial_dist[:, :num_front].sum(axis=1) / num_front
+        if num_extended:
+            cost = cost + self.lookahead_weight * (
+                trial_dist[:, num_front:].sum(axis=1) / num_extended
+            )
+        scores = (decay[cand].max(axis=1) * cost).tolist()
+        return scores, moved
+
+    def _select(self, scores: Sequence[float]) -> int:
+        """Running-threshold tie collection plus one RNG draw.
+
+        Both scoring paths share this exact scan (including the 1e-12
+        threshold semantics and a single ``rng.integers`` call per round),
+        which is what keeps their outputs aligned gate for gate.
+        """
+        best_score = math.inf
+        best: List[int] = []
+        for index, score in enumerate(scores):
+            if score < best_score - 1e-12:
+                best_score = score
+                best = [index]
+            elif abs(score - best_score) <= 1e-12:
+                best.append(index)
+        if not best:  # pragma: no cover - defensive
+            raise RoutingError("no swap candidates on a blocked frontier")
+        return best[int(self._rng.integers(len(best)))]
+
     def _choose_swap(
         self,
         front_gates: Sequence[Gate],
@@ -358,22 +726,43 @@ class SabreRouter(Router):
         dist: np.ndarray,
         decay: np.ndarray,
     ) -> Tuple[int, int]:
-        best_score = math.inf
-        best: List[Tuple[int, int]] = []
-        for a, b in self._swap_candidates(front_gates, layout, coupling):
+        """Stateless entry point (used by tests and one-off callers).
+
+        ``route()`` inlines the incremental path so it can carry the
+        endpoint arrays across swap rounds; this method rebuilds them from
+        the layout each call but scores identically.
+        """
+        if not self.incremental:
+            return self._choose_swap_naive(
+                front_gates, extended, layout, coupling, dist, decay
+            )
+        candidates = self._swap_candidates(front_gates, layout, coupling)
+        endpoints = _endpoint_arrays(front_gates, extended, layout._v2p)
+        scores, _ = self._score_candidates(
+            endpoints, candidates, len(front_gates), len(extended), dist, decay
+        )
+        return candidates[self._select(scores)]
+
+    def _choose_swap_naive(
+        self,
+        front_gates: Sequence[Gate],
+        extended: Sequence[Gate],
+        layout: Layout,
+        coupling,
+        dist: np.ndarray,
+        decay: np.ndarray,
+    ) -> Tuple[int, int]:
+        """Legacy scoring: copy the layout and re-sum every scored gate."""
+        candidates = self._swap_candidates_legacy(front_gates, layout, coupling)
+        scores: List[float] = []
+        for a, b in candidates:
             trial = layout.copy()
             trial.swap_physical(a, b)
-            score = max(decay[a], decay[b]) * self._heuristic(
-                front_gates, extended, trial, dist
+            scores.append(
+                max(decay[a], decay[b])
+                * self._heuristic(front_gates, extended, trial, dist)
             )
-            if score < best_score - 1e-12:
-                best_score = score
-                best = [(a, b)]
-            elif abs(score - best_score) <= 1e-12:
-                best.append((a, b))
-        if not best:  # pragma: no cover - defensive
-            raise RoutingError("no swap candidates on a blocked frontier")
-        return best[int(self._rng.integers(len(best)))]
+        return candidates[self._select(scores)]
 
 
 class NoiseAwareRouter(SabreRouter):
@@ -388,7 +777,12 @@ class NoiseAwareRouter(SabreRouter):
 
     name = "noise-aware"
 
-    def _distance_matrix(self, device: Device) -> np.ndarray:
+    def _distance_cache_key(self, device: Device) -> tuple:
+        # The error-weighted metric depends on the calibration too, so the
+        # cache key carries its fingerprint as the "calibration version".
+        return ("noise", device.coupling, device.calibration.cache_key())
+
+    def _build_distance_matrix(self, device: Device) -> np.ndarray:
         coupling = device.coupling
         n = coupling.num_qubits
         costs = {}

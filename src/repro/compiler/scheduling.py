@@ -55,8 +55,13 @@ class Schedule:
 
     @property
     def num_time_slots(self) -> int:
-        """Number of distinct start times (the paper's 'time-stamps')."""
-        return len({e.start_ns for e in self.entries})
+        """Number of distinct start times (the paper's 'time-stamps').
+
+        Start times are quantised to a 1e-6 ns grid before counting, so
+        float drift accumulated over long schedules cannot split one
+        physical time-stamp into two.
+        """
+        return len({round(e.start_ns * 1e6) for e in self.entries})
 
     def parallelism(self) -> float:
         """Average number of gates executing concurrently.

@@ -163,15 +163,42 @@ def run_suite(
     device: Optional[Device] = None,
     mapper: Optional[QuantumMapper] = None,
     progress: Optional[Callable[[int, int, str], None]] = None,
+    workers: Optional[int] = None,
 ) -> List[MappingRecord]:
     """Map every benchmark and collect the records.
 
     Benchmarks wider than the device are skipped (the paper's suite is
     bounded by the 100-qubit chip by construction; this guards ad-hoc
     suites).  ``progress`` receives ``(index, total, name)`` per circuit.
+
+    ``workers`` switches to the process-parallel runner of
+    :mod:`repro.runtime` with that many workers; each circuit is then
+    mapped by a pristine copy of the mapper (results independent of the
+    worker count) and a circuit whose mapping raises is reported at the
+    end instead of aborting the sweep.  ``None`` keeps the classic
+    serial loop, which threads one mapper (and its RNG) through all
+    circuits.
     """
     device = device if device is not None else paper_configuration()
     mapper = mapper if mapper is not None else trivial_mapper()
+    if workers is not None:
+        from ..runtime import run_suite_parallel
+
+        report = run_suite_parallel(
+            benchmarks,
+            device=device,
+            mapper=mapper,
+            workers=workers,
+            progress=progress,
+        )
+        if report.failures:
+            details = "; ".join(
+                f"{f.name}: {f.error}" for f in report.failures[:5]
+            )
+            raise RuntimeError(
+                f"{len(report.failures)} circuit(s) failed to map ({details})"
+            )
+        return report.records
     records: List[MappingRecord] = []
     total = len(benchmarks)
     for index, benchmark in enumerate(benchmarks):

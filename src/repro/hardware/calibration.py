@@ -85,6 +85,30 @@ class Calibration:
                 raise ValueError(f"{label} must be positive, got {value}")
 
     # ------------------------------------------------------------------
+    def cache_key(self) -> tuple:
+        """Hashable fingerprint of every number that feeds a cost model.
+
+        Acts as the calibration's *version*: two calibrations with equal
+        keys produce identical error/timing lookups, so derived tables
+        (e.g. the noise-aware router's distance matrix) may be shared.
+        """
+        return (
+            self.single_qubit_error,
+            self.two_qubit_error,
+            self.measurement_error,
+            self.single_qubit_duration_ns,
+            self.two_qubit_duration_ns,
+            self.measurement_duration_ns,
+            self.t1_us,
+            self.t2_us,
+            self.crosstalk_error,
+            tuple(sorted(self.qubit_errors.items())),
+            tuple(
+                sorted((tuple(sorted(k)), v) for k, v in self.edge_errors.items())
+            ),
+        )
+
+    # ------------------------------------------------------------------
     def gate_error(self, gate: Gate) -> float:
         """Error probability of one gate application on physical qubits."""
         if gate.name == "barrier":

@@ -116,27 +116,36 @@ class CouplingGraph:
             return
         n = self.num_qubits
         dist = np.full((n, n), -1, dtype=np.int32)
+        if n == 0:
+            self._distances = dist
+            self._next_hop = dist.copy()
+            return
+        # All-sources BFS by boolean frontier expansion: level k holds every
+        # (source, node) pair first reached after k hops.
+        adjacency = np.zeros((n, n), dtype=bool)
+        for a, b in self._edges:
+            adjacency[a, b] = adjacency[b, a] = True
+        np.fill_diagonal(dist, 0)
+        reached = np.eye(n, dtype=bool)
+        frontier = np.eye(n, dtype=bool)
+        level = 0
+        while frontier.any():
+            level += 1
+            frontier = (frontier @ adjacency) & ~reached
+            dist[frontier] = level
+            reached |= frontier
+        # next_hop[a, b]: the smallest-index neighbor of a on a shortest
+        # a->b path, found by comparing each neighbor's distance row
+        # against dist[a, :] - 1 in bulk (disconnected pairs never match:
+        # their -1 sentinel would need a neighbor at "distance" -2).
         hop = np.full((n, n), -1, dtype=np.int32)
-        for source in range(n):
-            dist[source, source] = 0
-            queue = deque([source])
-            while queue:
-                current = queue.popleft()
-                for neighbor in self._adjacency[current]:
-                    if dist[source, neighbor] == -1:
-                        dist[source, neighbor] = dist[source, current] + 1
-                        # First step on a shortest path neighbor<-source is
-                        # recorded from the target side below.
-                        queue.append(neighbor)
-        # next_hop[a, b]: a neighbor of a that lies on a shortest a->b path.
         for a in range(n):
-            for b in range(n):
-                if a == b or dist[a, b] <= 0:
-                    continue
-                for neighbor in self._adjacency[a]:
-                    if dist[neighbor, b] == dist[a, b] - 1:
-                        hop[a, b] = neighbor
-                        break
+            if not self._adjacency[a]:
+                continue
+            neighbors = np.array(sorted(self._adjacency[a]), dtype=np.int32)
+            on_path = dist[neighbors, :] == dist[a, :] - 1
+            has_hop = on_path.any(axis=0)
+            hop[a, has_hop] = neighbors[on_path.argmax(axis=0)[has_hop]]
         self._distances = dist
         self._next_hop = hop
 

@@ -31,6 +31,9 @@ class OverheadReport:
         Dependency depths.
     swap_count:
         SWAP gates inserted by the router (pre-decomposition count).
+    bridge_count:
+        BRIDGE realisations emitted by the router (4 CNOTs each); the
+        non-SWAP routing cost, so bridge-vs-swap ablations see it.
     """
 
     gates_before: int
@@ -38,6 +41,7 @@ class OverheadReport:
     depth_before: int
     depth_after: int
     swap_count: int
+    bridge_count: int = 0
 
     @property
     def added_gates(self) -> int:
@@ -71,6 +75,7 @@ class OverheadReport:
             "depth_after": self.depth_after,
             "depth_overhead": self.depth_overhead,
             "swap_count": self.swap_count,
+            "bridge_count": self.bridge_count,
         }
 
 
@@ -82,7 +87,7 @@ def gate_overhead(before: Circuit, after: Circuit) -> float:
 
 
 def overhead_report(
-    before: Circuit, after: Circuit, swap_count: int = 0
+    before: Circuit, after: Circuit, swap_count: int = 0, bridge_count: int = 0
 ) -> OverheadReport:
     """Build an :class:`OverheadReport` for a mapping step."""
     return OverheadReport(
@@ -91,4 +96,5 @@ def overhead_report(
         depth_before=before.depth(),
         depth_after=after.depth(),
         swap_count=swap_count,
+        bridge_count=bridge_count,
     )

@@ -1,0 +1,167 @@
+"""Deterministic process-parallel map.
+
+:func:`parallel_map` fans a pure function out over a payload list with
+multiprocessing and returns one :class:`ItemOutcome` per payload **in
+submission order**, regardless of completion order or worker count.
+
+Determinism contract
+--------------------
+Each payload is pickled once at submission time, so every task sees a
+pristine copy of its inputs — mutable state (e.g. a mapper's RNG) cannot
+leak between tasks.  The ``workers=1`` path runs in-process but routes
+every payload through the same pickle round-trip, which is what makes
+single-worker and multi-worker runs byte-identical.
+
+Failure handling
+----------------
+* An exception raised by ``fn`` is captured in the item's outcome
+  (``error`` + traceback string); other items are unaffected.
+* A *dying* worker (SIGKILL, hard crash) breaks the pool; every item
+  whose result was lost is recomputed serially in the parent process,
+  so the call still returns a complete, correctly ordered result list —
+  ``ParallelResult.fell_back`` records that it happened.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["ItemOutcome", "ParallelResult", "parallel_map"]
+
+
+@dataclass(frozen=True)
+class ItemOutcome:
+    """Result of running ``fn`` on one payload.
+
+    Attributes
+    ----------
+    index:
+        Position of the payload in the input sequence.
+    value:
+        Return value of ``fn`` (``None`` when it raised).
+    error:
+        ``None`` on success, else ``"ExcType: message"``.
+    traceback:
+        Full formatted traceback on failure (for logs), else ``None``.
+    elapsed_s:
+        Wall time spent inside ``fn`` for this item.
+    """
+
+    index: int
+    value: Any
+    error: Optional[str]
+    traceback: Optional[str]
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Ordered outcomes plus how the run actually executed."""
+
+    outcomes: List[ItemOutcome] = field(default_factory=list)
+    workers: int = 1
+    fell_back: bool = False
+
+    def values(self) -> List[Any]:
+        """Values of successful items, input order preserved."""
+        return [o.value for o in self.outcomes if o.ok]
+
+
+def _run_item(fn: Callable[[Any], Any], index: int, payload: Any) -> ItemOutcome:
+    """Execute one task, capturing its error and wall time.
+
+    Runs inside the worker process (or inline for ``workers=1``); must
+    stay module-level so the pool can pickle it by reference.
+    """
+    start = time.perf_counter()
+    try:
+        value = fn(payload)
+        error = tb = None
+    except Exception as exc:  # noqa: BLE001 - captured per item by design
+        value = None
+        error = f"{type(exc).__name__}: {exc}"
+        tb = traceback.format_exc()
+    return ItemOutcome(index, value, error, tb, time.perf_counter() - start)
+
+
+def _clone(payload: Any) -> Any:
+    """Pickle round-trip, mirroring what pool submission does to payloads."""
+    return pickle.loads(pickle.dumps(payload))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    payloads: Sequence[Any],
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> ParallelResult:
+    """Run ``fn`` over ``payloads`` across processes; ordered outcomes.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable (it is sent to workers by reference).
+    payloads:
+        Task inputs; each must be picklable.
+    workers:
+        Process count; ``None`` uses ``os.cpu_count()``, values are
+        clamped to ``[1, len(payloads)]``.  ``workers=1`` runs inline
+        (no pool) but with identical pickling semantics.
+    progress:
+        Optional ``(done, total)`` callback, invoked in the parent as
+        results are collected (in submission order).
+    """
+    payloads = list(payloads)
+    total = len(payloads)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(int(workers), total or 1))
+
+    if workers == 1 or total == 0:
+        outcomes = []
+        for index, payload in enumerate(payloads):
+            outcomes.append(_run_item(fn, index, _clone(payload)))
+            if progress is not None:
+                progress(index + 1, total)
+        return ParallelResult(outcomes, workers=1, fell_back=False)
+
+    collected: List[Optional[ItemOutcome]] = [None] * total
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_item, fn, index, payload)
+                for index, payload in enumerate(payloads)
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    collected[index] = future.result()
+                except BrokenProcessPool:
+                    # A worker died; later futures are lost too.  Stop
+                    # draining and recompute the holes below.
+                    break
+                if progress is not None:
+                    progress(index + 1, total)
+    except BrokenProcessPool:  # pragma: no cover - raised at pool shutdown
+        pass
+
+    fell_back = False
+    for index, outcome in enumerate(collected):
+        if outcome is None:
+            # Serial fallback in the parent: same pickling semantics, so
+            # recovered items match what the worker would have returned.
+            fell_back = True
+            collected[index] = _run_item(fn, index, _clone(payloads[index]))
+            if progress is not None:
+                progress(index + 1, total)
+    return ParallelResult(list(collected), workers=workers, fell_back=fell_back)

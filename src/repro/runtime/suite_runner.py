@@ -1,0 +1,147 @@
+"""Parallel mapping-suite runner.
+
+Maps every benchmark of a suite onto a device across worker processes
+and returns a :class:`SuiteRunReport`: the mapping records in suite
+order, per-circuit wall times, and captured per-circuit failures.
+
+Every circuit is mapped by a *pristine* pickled copy of the mapper, so
+results are independent of execution order and of the worker count —
+``workers=1`` and ``workers=N`` produce byte-identical records.  (This
+differs from the legacy serial sweep only for stateful mappers, where
+the serial loop threads one RNG through all circuits.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..compiler.mapper import QuantumMapper
+from ..hardware.device import Device
+from ..workloads.suite import BenchmarkCircuit
+from .parallel import parallel_map
+
+__all__ = [
+    "CircuitTiming",
+    "CircuitFailure",
+    "SuiteRunReport",
+    "run_suite_parallel",
+]
+
+
+@dataclass(frozen=True)
+class CircuitTiming:
+    """Wall time spent mapping one benchmark."""
+
+    name: str
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class CircuitFailure:
+    """A benchmark whose mapping raised, with the captured error."""
+
+    name: str
+    error: str
+    traceback: Optional[str] = None
+
+
+@dataclass
+class SuiteRunReport:
+    """Everything a parallel suite run produced.
+
+    Attributes
+    ----------
+    records:
+        Mapping records of the successful benchmarks, in suite order.
+    timings:
+        Per-benchmark wall times (successes and failures alike), in
+        suite order.
+    failures:
+        Benchmarks whose mapping raised; the rest of the suite is
+        unaffected.
+    skipped:
+        Benchmark names skipped because they are wider than the device.
+    workers:
+        Worker-process count actually used.
+    fell_back:
+        True when a worker process died and the lost circuits were
+        recomputed serially in the parent.
+    wall_time_s:
+        End-to-end wall time of the run.
+    """
+
+    records: List = field(default_factory=list)
+    timings: List[CircuitTiming] = field(default_factory=list)
+    failures: List[CircuitFailure] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    workers: int = 1
+    fell_back: bool = False
+    wall_time_s: float = 0.0
+
+    @property
+    def total_circuit_time_s(self) -> float:
+        """Sum of per-circuit times (CPU-side cost, ignores overlap)."""
+        return sum(t.elapsed_s for t in self.timings)
+
+
+def _map_payload(payload: Tuple[BenchmarkCircuit, Device, QuantumMapper]):
+    """Map one benchmark; module-level so worker processes can import it."""
+    from ..experiments.common import _record
+
+    benchmark, device, mapper = payload
+    return _record(benchmark, mapper.map(benchmark.circuit, device))
+
+
+def run_suite_parallel(
+    benchmarks: Sequence[BenchmarkCircuit],
+    device: Optional[Device] = None,
+    mapper: Optional[QuantumMapper] = None,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int, int, str], None]] = None,
+) -> SuiteRunReport:
+    """Map a benchmark suite with a worker pool; see :class:`SuiteRunReport`.
+
+    Mirrors :func:`repro.experiments.common.run_suite` semantics
+    (benchmarks wider than the device are skipped; ``progress`` receives
+    ``(index, total, name)``), adding process fan-out, per-circuit
+    timing, and per-circuit failure capture.
+    """
+    from ..experiments.common import paper_configuration
+    from ..compiler.mapper import trivial_mapper
+
+    device = device if device is not None else paper_configuration()
+    mapper = mapper if mapper is not None else trivial_mapper()
+    start = time.perf_counter()
+    kept: List[BenchmarkCircuit] = []
+    skipped: List[str] = []
+    for benchmark in benchmarks:
+        if benchmark.circuit.num_qubits > device.num_qubits:
+            skipped.append(benchmark.source)
+        else:
+            kept.append(benchmark)
+
+    def _progress(done: int, total: int) -> None:
+        if progress is not None and done < total:
+            progress(done, total, kept[done].source)
+
+    result = parallel_map(
+        _map_payload,
+        [(benchmark, device, mapper) for benchmark in kept],
+        workers=workers,
+        progress=_progress if progress is not None else None,
+    )
+    report = SuiteRunReport(
+        skipped=skipped, workers=result.workers, fell_back=result.fell_back
+    )
+    for benchmark, outcome in zip(kept, result.outcomes):
+        report.timings.append(CircuitTiming(benchmark.source, outcome.elapsed_s))
+        if outcome.ok:
+            report.records.append(outcome.value)
+        else:
+            report.failures.append(
+                CircuitFailure(benchmark.source, outcome.error, outcome.traceback)
+            )
+    report.wall_time_s = time.perf_counter() - start
+    return report

@@ -131,6 +131,7 @@ class TestBridgeRouting:
             circuit, device, Layout.trivial(3, 3)
         )
         assert result.swap_count == 0
+        assert result.bridge_count == 1
         assert result.initial_layout == result.final_layout
         assert [g.name for g in result.circuit] == ["cx"] * 4
         assert verify_mapping(
@@ -144,6 +145,7 @@ class TestBridgeRouting:
             circuit, device, Layout.trivial(4, 4)
         )
         assert result.swap_count > 0
+        assert result.bridge_count == 0
         assert verify_mapping(
             circuit, result.circuit, result.initial_layout, result.final_layout
         )
@@ -155,6 +157,7 @@ class TestBridgeRouting:
             circuit, device, Layout.trivial(3, 3)
         )
         assert result.swap_count == 1
+        assert result.bridge_count == 0
         assert verify_mapping(
             circuit, result.circuit, result.initial_layout, result.final_layout
         )
@@ -165,6 +168,24 @@ class TestBridgeRouting:
             Circuit(3).cx(0, 2), device, Layout.trivial(3, 3)
         )
         assert result.swap_count == 1
+        assert result.bridge_count == 0
+
+    def test_bridge_count_threaded_through_mapper(self):
+        from repro.compiler import QuantumMapper, TrivialPlacement
+
+        mapper = QuantumMapper(TrivialPlacement(), TrivialRouter(use_bridge=True))
+        result = mapper.map(Circuit(3).cx(0, 2), line_device(3))
+        assert result.bridge_count == 1
+        assert result.overhead.bridge_count == 1
+        assert result.overhead.as_dict()["bridge_count"] == 1
+        assert result.verify()
+
+    def test_bridge_count_zero_without_bridge(self):
+        from repro.compiler import trivial_mapper
+
+        result = trivial_mapper().map(Circuit(3).cx(0, 2), line_device(3))
+        assert result.bridge_count == 0
+        assert result.overhead.bridge_count == 0
 
     def test_bridge_sequence_semantics(self):
         device = line_device(3)

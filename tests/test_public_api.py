@@ -28,6 +28,7 @@ def test_all_exports_resolve():
         "repro.metrics",
         "repro.fullstack",
         "repro.experiments",
+        "repro.runtime",
     ],
 )
 def test_subpackage_all_exports(module):

@@ -1,0 +1,142 @@
+"""The parallel runtime: deterministic fan-out, timing, crash recovery.
+
+``parallel_map`` and ``run_suite_parallel`` promise byte-identical
+results for ``workers=1`` and ``workers=N``, per-item error capture
+that leaves the rest of the batch intact, and a serial fallback that
+still returns a complete result list when a worker process is killed.
+"""
+
+import multiprocessing
+import os
+import pickle
+import signal
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.compiler import sabre_mapper, trivial_mapper
+from repro.experiments.common import run_suite
+from repro.hardware import surface17_device
+from repro.runtime import parallel_map, run_suite_parallel
+from repro.workloads import small_suite
+from repro.workloads.suite import BenchmarkCircuit
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("bad payload")
+    return x + 100
+
+
+def _kill_worker_on_two(x):
+    # Only die when running inside a pool worker — the parent-side
+    # serial fallback must be able to recompute this item safely.
+    if x == 2 and multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+class TestParallelMap:
+    def test_results_in_submission_order(self):
+        result = parallel_map(_square, list(range(8)), workers=3)
+        assert [o.index for o in result.outcomes] == list(range(8))
+        assert result.values() == [x * x for x in range(8)]
+        assert not result.fell_back
+
+    def test_workers_one_matches_pool(self):
+        serial = parallel_map(_square, list(range(6)), workers=1)
+        pooled = parallel_map(_square, list(range(6)), workers=3)
+        assert serial.values() == pooled.values()
+        assert serial.workers == 1 and pooled.workers == 3
+
+    def test_empty_payloads(self):
+        result = parallel_map(_square, [], workers=4)
+        assert result.outcomes == [] and result.values() == []
+
+    def test_workers_clamped_to_payload_count(self):
+        result = parallel_map(_square, [1, 2], workers=16)
+        assert result.workers == 2
+
+    def test_per_item_error_capture(self):
+        result = parallel_map(_fail_on_three, [1, 2, 3, 4], workers=2)
+        by_index = {o.index: o for o in result.outcomes}
+        assert not by_index[2].ok
+        assert by_index[2].error == "ValueError: bad payload"
+        assert "bad payload" in by_index[2].traceback
+        assert by_index[2].value is None
+        # Every other item is unaffected.
+        assert result.values() == [101, 102, 104]
+
+    def test_timings_recorded(self):
+        result = parallel_map(_square, [1, 2, 3], workers=1)
+        assert all(o.elapsed_s >= 0.0 for o in result.outcomes)
+
+    def test_progress_callback(self):
+        seen = []
+        parallel_map(_square, [5, 6, 7], workers=1, progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_killed_worker_falls_back_serially(self):
+        result = parallel_map(_kill_worker_on_two, [0, 1, 2, 3, 4], workers=2)
+        assert result.fell_back
+        # The fallback recomputes lost items in the parent, where the
+        # kill guard is inert, so the result list is still complete.
+        assert result.values() == [0, 10, 20, 30, 40]
+        assert [o.index for o in result.outcomes] == [0, 1, 2, 3, 4]
+
+
+class TestSuiteRunner:
+    def test_workers_one_vs_n_byte_identical(self):
+        suite = small_suite(6)
+        device = surface17_device()
+        serial = run_suite_parallel(
+            suite, device, sabre_mapper(), workers=1
+        )
+        pooled = run_suite_parallel(
+            suite, device, sabre_mapper(), workers=3
+        )
+        assert pickle.dumps(serial.records) == pickle.dumps(pooled.records)
+        assert not serial.fell_back and not pooled.fell_back
+
+    def test_report_contents(self):
+        suite = small_suite(4)
+        report = run_suite_parallel(
+            suite, surface17_device(), trivial_mapper(), workers=2
+        )
+        assert len(report.records) == 4
+        assert [t.name for t in report.timings] == [b.source for b in suite]
+        assert report.total_circuit_time_s > 0.0
+        assert report.wall_time_s > 0.0
+        assert report.failures == [] and report.skipped == []
+
+    def test_too_wide_benchmarks_skipped(self):
+        device = surface17_device()
+        wide = BenchmarkCircuit(Circuit(40).h(0), "random", "wide_40q")
+        suite = [wide] + list(small_suite(3))
+        report = run_suite_parallel(suite, device, trivial_mapper(), workers=2)
+        assert report.skipped == ["wide_40q"]
+        assert len(report.records) == 3
+
+    def test_run_suite_workers_matches_serial_for_stateless_mapper(self):
+        suite = small_suite(5)
+        device = surface17_device()
+        serial = run_suite(suite, device, trivial_mapper())
+        pooled = run_suite(suite, device, trivial_mapper(), workers=2)
+        assert serial == pooled
+
+    def test_progress_reports_names(self):
+        suite = small_suite(3)
+        seen = []
+        run_suite_parallel(
+            suite,
+            surface17_device(),
+            trivial_mapper(),
+            workers=1,
+            progress=lambda i, t, name: seen.append((i, t, name)),
+        )
+        assert all(total == 3 for _, total, _ in seen)
+        assert all(name for _, _, name in seen)

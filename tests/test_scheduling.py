@@ -88,6 +88,33 @@ class TestControlConstraint:
         assert schedule.latency_ns == 20.0
 
 
+class TestTimeSlotQuantisation:
+    def test_float_noise_collapses_to_one_slot(self):
+        # 0.1 + 0.2 != 0.3 in binary floats; on the 1e-6 ns grid the
+        # two start times are the same slot.
+        from repro.circuit import Gate
+        from repro.compiler.scheduling import Schedule, ScheduledGate
+
+        circuit = Circuit(2).h(0).h(1)
+        entries = [
+            ScheduledGate(Gate("h", (0,)), 0.1 + 0.2, 20.0),
+            ScheduledGate(Gate("h", (1,)), 0.3, 20.0),
+        ]
+        assert (0.1 + 0.2) != 0.3
+        assert Schedule(entries, circuit).num_time_slots == 1
+
+    def test_distinct_starts_still_counted(self):
+        from repro.circuit import Gate
+        from repro.compiler.scheduling import Schedule, ScheduledGate
+
+        circuit = Circuit(2).h(0).h(1)
+        entries = [
+            ScheduledGate(Gate("h", (0,)), 0.0, 20.0),
+            ScheduledGate(Gate("h", (1,)), 20.0, 20.0),
+        ]
+        assert Schedule(entries, circuit).num_time_slots == 2
+
+
 class TestAlap:
     def test_same_latency_as_asap(self):
         circuit = Circuit(3).h(0).cz(0, 1).h(2).cz(1, 2)
