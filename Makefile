@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: test bench-routing bench-smoke bench-figures
+.PHONY: test bench-routing bench-sim bench-smoke bench-figures
 
 # Tier-1 test suite.
 test:
@@ -14,10 +14,18 @@ test:
 bench-routing:
 	PYTHONPATH=src $(PY) benchmarks/bench_routing_hotpath.py
 
-# CI smoke gate: routes the 10-circuit subset and fails on a >25%
-# speedup regression (or any swap-count drift) vs BENCH_routing.json.
+# Full oracle/metrics benchmark (batched simulation + vectorised
+# Table I); rewrites the committed baseline BENCH_sim_metrics.json.
+bench-sim:
+	PYTHONPATH=src $(PY) benchmarks/bench_oracle_metrics.py
+
+# CI smoke gate: reduced workloads of both benchmarks; fails on a >25%
+# speedup regression, swap-count drift (vs BENCH_routing.json),
+# verification-verdict drift or metric-value drift (vs
+# BENCH_sim_metrics.json).
 bench-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_routing_hotpath.py --smoke
+	PYTHONPATH=src $(PY) benchmarks/bench_oracle_metrics.py --smoke
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

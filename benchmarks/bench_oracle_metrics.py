@@ -1,0 +1,348 @@
+"""Oracle & metrics benchmark: batched simulation and vectorised Table I.
+
+Two sections, each comparing an optimised path against the verbatim
+legacy implementation it replaced:
+
+* **oracle** — maps a small-circuit suite onto a 4x4 grid and verifies
+  every mapping against the state-vector oracle twice: once with the
+  batched, gate-fused simulation (``verify(batched=True)``, the
+  default) and once with the serial trial-by-trial loop.  Verdicts must
+  be identical; wall times and the speedup ratio are recorded.
+* **metrics** — computes the full Table I metric suite on 20-54-qubit
+  interaction graphs (random, QAOA MaxCut, ring, grid) twice: with the
+  vectorised numpy path (``compute_metrics(vectorized=True)``, the
+  default) and with the original per-node Python loops.  All metrics
+  must agree exactly except the betweenness pair (different float
+  accumulation order), which must agree to 1e-12 relative.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_oracle_metrics.py            # full run
+    PYTHONPATH=src python benchmarks/bench_oracle_metrics.py --smoke    # CI gate
+
+``--smoke`` runs the reduced workload and exits non-zero when a
+section's speedup regresses by more than 25% against the committed
+baseline (``BENCH_sim_metrics.json``), when a verification verdict
+flips, or when any recorded metric value drifts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler.mapper import trivial_mapper
+from repro.core.interaction import InteractionGraph, interaction_graph
+from repro.core.metrics import METRIC_NAMES, compute_metrics
+from repro.hardware.device import grid_device
+from repro.workloads.qaoa import qaoa_maxcut, random_maxcut_instance
+from repro.workloads.suite import evaluation_suite
+
+SUITE_SEED = 2022
+VERIFY_SEED = 1234
+VERIFY_TRIALS = 8
+FULL_CIRCUITS = 18
+SMOKE_CIRCUITS = 8
+ORACLE_MAX_QUBITS = 10
+ORACLE_MAX_GATES = 400
+#: Smoke gate: fail when speedup < (1 - this) * baseline speedup.
+REGRESSION_TOLERANCE = 0.25
+#: Relative tolerance for the betweenness pair (float accumulation
+#: order differs between the two paths); every other metric is exact.
+BETWEENNESS_RTOL = 1e-12
+
+#: (name, kind, parameters) of every metrics-section graph; all are
+#: 20+ qubits wide, matching the paper's upper suite bands.
+FULL_GRAPHS = [
+    ("random_20_p20", "random", (20, 0.20, 11)),
+    ("random_24_p20", "random", (24, 0.20, 12)),
+    ("random_32_p15", "random", (32, 0.15, 13)),
+    ("random_48_p10", "random", (48, 0.10, 14)),
+    ("random_54_p10", "random", (54, 0.10, 15)),
+    ("qaoa_20_e40", "qaoa", (20, 40, 16)),
+    ("qaoa_28_e70", "qaoa", (28, 70, 17)),
+    ("ring_24", "ring", (24,)),
+    ("grid_5x5", "grid", (5, 5)),
+    ("grid_6x6", "grid", (6, 6)),
+]
+SMOKE_GRAPHS = [
+    "random_20_p20",
+    "random_32_p15",
+    "qaoa_28_e70",
+    "grid_5x5",
+]
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def _oracle_workload(num_circuits: int):
+    """Small-circuit mapping results, all within the oracle's width limit."""
+    device = grid_device(4, 4)
+    suite = evaluation_suite(
+        num_circuits=num_circuits,
+        seed=SUITE_SEED,
+        max_qubits=ORACLE_MAX_QUBITS,
+        max_gates=ORACLE_MAX_GATES,
+    )
+    mapper = trivial_mapper()
+    names = [b.source for b in suite]
+    results = [mapper.map(b.circuit, device) for b in suite]
+    return names, results
+
+
+def _build_graph(kind: str, params) -> InteractionGraph:
+    if kind == "random":
+        n, p, seed = params
+        rng = np.random.default_rng(seed)
+        graph = InteractionGraph(n)
+        for a in range(n):
+            for b in range(a + 1, n):
+                if rng.random() < p:
+                    graph.add_interaction(a, b, float(rng.integers(1, 5)))
+        return graph
+    if kind == "qaoa":
+        n, num_edges, seed = params
+        edges = random_maxcut_instance(n, num_edges, seed=seed)
+        return interaction_graph(qaoa_maxcut(n, edges, num_layers=2))
+    if kind == "ring":
+        (n,) = params
+        graph = InteractionGraph(n)
+        for i in range(n):
+            graph.add_interaction(i, (i + 1) % n)
+        return graph
+    if kind == "grid":
+        rows, cols = params
+        graph = InteractionGraph(rows * cols)
+        for r in range(rows):
+            for c in range(cols):
+                node = r * cols + c
+                if c + 1 < cols:
+                    graph.add_interaction(node, node + 1)
+                if r + 1 < rows:
+                    graph.add_interaction(node, node + cols)
+        return graph
+    raise ValueError(f"unknown graph kind {kind!r}")
+
+
+def _metrics_workload(graph_names):
+    lookup = {name: (kind, params) for name, kind, params in FULL_GRAPHS}
+    return [(name, _build_graph(*lookup[name])) for name in graph_names]
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+def _verify_all(results, batched: bool):
+    start = time.perf_counter()
+    verdicts = [
+        r.verify(trials=VERIFY_TRIALS, seed=VERIFY_SEED, batched=batched)
+        for r in results
+    ]
+    return time.perf_counter() - start, verdicts
+
+
+def _bench_oracle(num_circuits: int, repeats: int) -> dict:
+    names, results = _oracle_workload(num_circuits)
+    _verify_all(results, batched=True)  # warm gate-matrix cache
+    batched_s, batched_verdicts = _verify_all(results, batched=True)
+    batched_s = min(
+        [batched_s]
+        + [_verify_all(results, batched=True)[0] for _ in range(repeats - 1)]
+    )
+    serial_s, serial_verdicts = _verify_all(results, batched=False)
+    serial_s = min(
+        [serial_s]
+        + [_verify_all(results, batched=False)[0] for _ in range(repeats - 1)]
+    )
+    if batched_verdicts != serial_verdicts:
+        raise SystemExit(
+            "oracle: batched and serial verification verdicts diverged — "
+            "refusing to record benchmark numbers for non-equivalent paths"
+        )
+    return {
+        "num_circuits": num_circuits,
+        "trials": VERIFY_TRIALS,
+        "batched_s": round(batched_s, 4),
+        "serial_s": round(serial_s, 4),
+        "speedup": round(serial_s / batched_s, 2),
+        "verdicts": dict(zip(names, batched_verdicts)),
+    }
+
+
+def _metric_values_match(reference: dict, vectorized: dict) -> bool:
+    for name in METRIC_NAMES:
+        ref, vec = reference[name], vectorized[name]
+        if name.startswith("betweenness"):
+            if abs(ref - vec) > BETWEENNESS_RTOL * max(1.0, abs(ref)):
+                return False
+        elif ref != vec:
+            return False
+    return True
+
+
+def _time_metrics(graphs, vectorized: bool, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _, graph in graphs:
+            compute_metrics(graph, vectorized=vectorized)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _bench_metrics(graph_names, repeats: int) -> dict:
+    graphs = _metrics_workload(graph_names)
+    values = {}
+    for name, graph in graphs:
+        reference = compute_metrics(graph, vectorized=False).as_dict()
+        vectorized = compute_metrics(graph, vectorized=True).as_dict()
+        if not _metric_values_match(reference, vectorized):
+            raise SystemExit(
+                f"metrics: vectorised and reference values diverged on "
+                f"{name} — refusing to record benchmark numbers for "
+                "non-equivalent paths"
+            )
+        values[name] = vectorized
+    vectorized_s = _time_metrics(graphs, True, repeats)
+    reference_s = _time_metrics(graphs, False, max(1, repeats // 2))
+    return {
+        "num_graphs": len(graphs),
+        "min_qubits": min(g.num_qubits for _, g in graphs),
+        "vectorized_s": round(vectorized_s, 4),
+        "reference_s": round(reference_s, 4),
+        "speedup": round(reference_s / vectorized_s, 2),
+        "values": values,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+def _run(num_circuits: int, graph_names, repeats: int) -> dict:
+    return {
+        "oracle": _bench_oracle(num_circuits, repeats),
+        "metrics": _bench_metrics(graph_names, repeats),
+    }
+
+
+def run_full(repeats: int) -> dict:
+    return {
+        "benchmark": "oracle-and-metrics",
+        "suite_seed": SUITE_SEED,
+        "verify_seed": VERIFY_SEED,
+        "repeats": repeats,
+        "full": _run(FULL_CIRCUITS, [n for n, _, _ in FULL_GRAPHS], repeats),
+        "smoke": _run(SMOKE_CIRCUITS, SMOKE_GRAPHS, repeats),
+    }
+
+
+def _metric_drift(base_values: dict, cur_values: dict):
+    """First (graph, metric) where the recorded values disagree, if any."""
+    for graph_name, base in base_values.items():
+        current = cur_values.get(graph_name)
+        if current is None:
+            return graph_name, "<missing>"
+        if not _metric_values_match(base, current):
+            for metric in METRIC_NAMES:
+                if base[metric] != current[metric]:
+                    return graph_name, metric
+    return None
+
+
+def run_smoke(baseline_path: Path, repeats: int) -> int:
+    """Run the reduced workload and gate on the committed baseline."""
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}; run the full bench first")
+        return 1
+    baseline = json.loads(baseline_path.read_text())["smoke"]
+    current = _run(SMOKE_CIRCUITS, SMOKE_GRAPHS, repeats)
+    failed = False
+
+    base, cur = baseline["oracle"], current["oracle"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * base["speedup"]
+    status = "ok"
+    if cur["verdicts"] != base["verdicts"]:
+        status = "VERDICT DRIFT (oracle behaviour changed)"
+        failed = True
+    elif cur["speedup"] < floor:
+        status = f"REGRESSION (floor {floor:.2f}x)"
+        failed = True
+    print(
+        f"oracle   speedup {cur['speedup']:5.2f}x "
+        f"(baseline {base['speedup']:.2f}x, "
+        f"{len(cur['verdicts'])} circuits) ... {status}"
+    )
+
+    base, cur = baseline["metrics"], current["metrics"]
+    floor = (1.0 - REGRESSION_TOLERANCE) * base["speedup"]
+    status = "ok"
+    drift = _metric_drift(base["values"], cur["values"])
+    if drift is not None:
+        status = f"METRIC DRIFT ({drift[0]}.{drift[1]})"
+        failed = True
+    elif cur["speedup"] < floor:
+        status = f"REGRESSION (floor {floor:.2f}x)"
+        failed = True
+    print(
+        f"metrics  speedup {cur['speedup']:5.2f}x "
+        f"(baseline {base['speedup']:.2f}x, "
+        f"{cur['num_graphs']} graphs >= {cur['min_qubits']}q) ... {status}"
+    )
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_sim_metrics.json",
+        help="result/baseline JSON path (default: repo root "
+        "BENCH_sim_metrics.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced workload and compare against the baseline "
+        "instead of rewriting it",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="timing repeats per path (min is kept)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.output, args.repeats)
+    payload = run_full(args.repeats)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    for section in ("full", "smoke"):
+        oracle = payload[section]["oracle"]
+        metrics = payload[section]["metrics"]
+        print(
+            f"{section:5s} oracle   {oracle['serial_s']:7.3f}s -> "
+            f"{oracle['batched_s']:7.3f}s  ({oracle['speedup']:.2f}x, "
+            f"identical verdicts)"
+        )
+        print(
+            f"{section:5s} metrics  {metrics['reference_s']:7.3f}s -> "
+            f"{metrics['vectorized_s']:7.3f}s  ({metrics['speedup']:.2f}x, "
+            f"equivalent values)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

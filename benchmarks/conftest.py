@@ -6,12 +6,12 @@ sweep.  The sweep runs once per benchmark session (~1 minute) and is
 shared by the fig3/fig5/table1 benches.
 """
 
-import os
 import sys
 
 import pytest
 
 from repro.experiments import paper_configuration, run_suite
+from repro.runtime import workers_from_env
 from repro.workloads import evaluation_suite
 
 #: The paper quotes 5-100000 gates; the default harness caps at 20000 to
@@ -25,8 +25,7 @@ SUITE_SIZE = 200
 def _suite_workers():
     """Worker count for the sweep: REPRO_WORKERS=N enables the parallel
     runner (0/unset keeps the classic serial loop)."""
-    value = int(os.environ.get("REPRO_WORKERS", "0"))
-    return value if value > 0 else None
+    return workers_from_env()
 
 
 @pytest.fixture(scope="session")

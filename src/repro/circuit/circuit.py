@@ -10,6 +10,8 @@ two-qubit fraction, depth) and the transformations used by the compiler
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -79,6 +81,23 @@ class Circuit:
 
     def __hash__(self):  # circuits are mutable
         raise TypeError("Circuit is unhashable (mutable)")
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the circuit's semantic content.
+
+        Covers the register size and the exact gate sequence (names,
+        qubits, parameter bit patterns) but *not* the cosmetic ``name``,
+        so two structurally identical circuits hash alike across
+        processes and sessions.  Used to memoise per-circuit derived data
+        (e.g. the Table I graph-metric vectors).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(struct.pack("<q", self.num_qubits))
+        for gate in self._gates:
+            digest.update(gate.name.encode("utf-8"))
+            digest.update(struct.pack(f"<B{len(gate.qubits)}q", 0, *gate.qubits))
+            digest.update(struct.pack(f"<B{len(gate.params)}d", 1, *gate.params))
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = f" {self.name!r}" if self.name else ""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import cmath
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -491,11 +492,18 @@ def is_diagonal_gate(gate: Gate) -> bool:
     return gate.is_diagonal
 
 
-_MATRIX_CACHE: Dict[Tuple[str, Tuple[float, ...]], np.ndarray] = {}
+#: LRU cache of gate matrices keyed on ``(name, params)``.  Parameter-free
+#: gates and the handful of hot rotation angles of a workload stay resident;
+#: under parameter churn (e.g. randomised circuits) the least recently used
+#: matrices are evicted instead of the cache silently going read-only.
+_MATRIX_CACHE: "OrderedDict[Tuple[str, Tuple[float, ...]], np.ndarray]" = (
+    OrderedDict()
+)
+_MATRIX_CACHE_SIZE = 4096
 
 
 def gate_matrix(gate: Gate) -> np.ndarray:
-    """Return the unitary matrix of ``gate``.
+    """Return the unitary matrix of ``gate`` (cached, read-only).
 
     Raises
     ------
@@ -510,8 +518,11 @@ def gate_matrix(gate: Gate) -> np.ndarray:
     if cached is None:
         cached = definition.matrix_fn(gate.params)
         cached.setflags(write=False)
-        if len(_MATRIX_CACHE) < 4096:
-            _MATRIX_CACHE[key] = cached
+        _MATRIX_CACHE[key] = cached
+        if len(_MATRIX_CACHE) > _MATRIX_CACHE_SIZE:
+            _MATRIX_CACHE.popitem(last=False)
+    else:
+        _MATRIX_CACHE.move_to_end(key)
     return cached
 
 

@@ -110,12 +110,19 @@ class MappingResult:
         return self.schedule().latency_ns
 
     # ------------------------------------------------------------------
-    def verify(self, trials: int = 3, seed: Optional[int] = 1234) -> bool:
+    def verify(
+        self,
+        trials: int = 3,
+        seed: Optional[int] = 1234,
+        batched: bool = True,
+    ) -> bool:
         """Check semantic correctness against the state-vector oracle.
 
         The mapped circuit is compacted onto its touched physical qubits
         first; verification requires that compact register to stay within
-        the dense-simulation limit.
+        the dense-simulation limit.  ``batched`` selects the batched,
+        gate-fused oracle (the default) or the serial trial-by-trial
+        loop; both return the same verdict for the same seed.
 
         Raises
         ------
@@ -137,6 +144,7 @@ class MappingResult:
             final,
             trials=trials,
             seed=seed,
+            batched=batched,
         )
 
     def _compact(self):

@@ -7,7 +7,9 @@ from .metrics import (
     PAPER_RETAINED_METRICS,
     TABLE1_ROWS,
     circuit_graph_metrics,
+    clear_metrics_cache,
     compute_metrics,
+    metrics_cache_info,
 )
 from .correlation import MetricReduction, pearson_matrix, reduce_metrics
 from .profiles import CircuitProfile, profile_circuit, profile_suite
@@ -36,7 +38,9 @@ __all__ = [
     "PAPER_RETAINED_METRICS",
     "TABLE1_ROWS",
     "circuit_graph_metrics",
+    "clear_metrics_cache",
     "compute_metrics",
+    "metrics_cache_info",
     "MetricReduction",
     "pearson_matrix",
     "reduce_metrics",

@@ -144,20 +144,30 @@ class InteractionGraph:
         """True when all qubits belong to one interacting component."""
         return len(self.connected_components()) <= 1
 
-    def shortest_path_lengths(self) -> np.ndarray:
-        """Unweighted all-pairs hop counts (``-1`` for unreachable pairs)."""
+    def shortest_path_lengths(self, vectorized: bool = True) -> np.ndarray:
+        """Unweighted all-pairs hop counts (``-1`` for unreachable pairs).
+
+        The default path runs one level-synchronous BFS from *all*
+        sources at once: the reachability frontier of every source is a
+        row of a boolean matrix and one boolean matrix product per hop
+        level advances all frontiers together.  ``vectorized=False``
+        keeps the original per-source BFS loop; both produce the exact
+        same integer matrix.
+        """
         n = self.num_qubits
-        dist = np.full((n, n), -1, dtype=np.int32)
-        for source in range(n):
-            dist[source, source] = 0
-            queue = deque([source])
-            while queue:
-                current = queue.popleft()
-                for neighbor in self._adjacency[current]:
-                    if dist[source, neighbor] == -1:
-                        dist[source, neighbor] = dist[source, current] + 1
-                        queue.append(neighbor)
-        return dist
+        if not vectorized:
+            dist = np.full((n, n), -1, dtype=np.int32)
+            for source in range(n):
+                dist[source, source] = 0
+                queue = deque([source])
+                while queue:
+                    current = queue.popleft()
+                    for neighbor in self._adjacency[current]:
+                        if dist[source, neighbor] == -1:
+                            dist[source, neighbor] = dist[source, current] + 1
+                            queue.append(neighbor)
+            return dist
+        return _all_pairs_hops(self.adjacency_matrix() > 0)
 
     def subgraph_without_isolated(self) -> "InteractionGraph":
         """Copy with non-interacting qubits dropped (relabelled compactly)."""
@@ -185,6 +195,38 @@ class InteractionGraph:
             f"<InteractionGraph: {self.num_qubits} qubits, "
             f"{self.num_edges} edges, weight {self.total_weight:g}>"
         )
+
+
+def _all_pairs_hops(adjacency: np.ndarray) -> np.ndarray:
+    """All-pairs hop counts of a boolean adjacency matrix (``-1`` unreachable).
+
+    Level-synchronous BFS from all sources at once: the frontier of every
+    source is a row of a boolean matrix, and one boolean matrix product
+    per hop level advances all frontiers together.  Shared by
+    :meth:`InteractionGraph.shortest_path_lengths` and the vectorised
+    Table I metric suite (which already holds the adjacency matrix).
+    """
+    n = adjacency.shape[0]
+    dist = np.full((n, n), -1, dtype=np.int32)
+    if n == 0:
+        return dist
+    np.fill_diagonal(dist, 0)
+    # The products run in float64 (0/1 entries) because numpy dispatches
+    # float matmul to BLAS while boolean matmul falls back to a generic
+    # O(n^3) loop; thresholding the counts recovers the boolean frontier.
+    hops = adjacency.astype(np.float64)
+    reached = np.eye(n, dtype=bool)
+    frontier = np.eye(n)
+    level = 0
+    while True:
+        mask = (frontier @ hops) > 0.0
+        mask &= ~reached
+        if not mask.any():
+            return dist
+        level += 1
+        dist[mask] = level
+        reached |= mask
+        frontier = mask.astype(np.float64)
 
 
 def interaction_graph(circuit: Circuit) -> InteractionGraph:

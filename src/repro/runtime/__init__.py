@@ -12,7 +12,7 @@ drivers:
   it, producing :class:`~repro.runtime.suite_runner.SuiteRunReport`.
 """
 
-from .parallel import ItemOutcome, ParallelResult, parallel_map
+from .parallel import ItemOutcome, ParallelResult, parallel_map, workers_from_env
 from .suite_runner import (
     CircuitFailure,
     CircuitTiming,
@@ -24,6 +24,7 @@ __all__ = [
     "ItemOutcome",
     "ParallelResult",
     "parallel_map",
+    "workers_from_env",
     "CircuitFailure",
     "CircuitTiming",
     "SuiteRunReport",

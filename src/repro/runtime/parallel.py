@@ -33,7 +33,28 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
-__all__ = ["ItemOutcome", "ParallelResult", "parallel_map"]
+__all__ = ["ItemOutcome", "ParallelResult", "parallel_map", "workers_from_env"]
+
+#: Environment variable consulted by :func:`workers_from_env`.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def workers_from_env(default: Optional[int] = None) -> Optional[int]:
+    """Worker count requested via the ``REPRO_WORKERS`` environment variable.
+
+    ``REPRO_WORKERS=N`` (N > 0) returns ``N``; unset, empty, zero or
+    unparsable values return ``default``.  This is the single knob shared
+    by the suite runner and the benchmark drivers, so one environment
+    setting configures every fan-out in a run.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..compiler.mapper import QuantumMapper
 from ..hardware.device import Device
 from ..workloads.suite import BenchmarkCircuit
-from .parallel import parallel_map
+from .parallel import parallel_map, workers_from_env
 
 __all__ = [
     "CircuitTiming",
@@ -106,13 +106,18 @@ def run_suite_parallel(
     Mirrors :func:`repro.experiments.common.run_suite` semantics
     (benchmarks wider than the device are skipped; ``progress`` receives
     ``(index, total, name)``), adding process fan-out, per-circuit
-    timing, and per-circuit failure capture.
+    timing, and per-circuit failure capture.  When ``workers`` is
+    ``None`` the ``REPRO_WORKERS`` environment variable is consulted
+    first (falling back to the CPU count), so one environment setting
+    configures every fan-out in a run.
     """
     from ..experiments.common import paper_configuration
     from ..compiler.mapper import trivial_mapper
 
     device = device if device is not None else paper_configuration()
     mapper = mapper if mapper is not None else trivial_mapper()
+    if workers is None:
+        workers = workers_from_env()
     start = time.perf_counter()
     kept: List[BenchmarkCircuit] = []
     skipped: List[str] = []

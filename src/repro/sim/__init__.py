@@ -4,9 +4,13 @@ from .statevector import (
     Simulator,
     SimulationResult,
     apply_gate,
+    apply_gate_batched,
     basis_state,
+    fused_operations,
     probabilities,
     random_product_state,
+    random_product_states,
+    run_batched,
     sample_counts,
     statevector,
     zero_state,
@@ -32,9 +36,13 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "apply_gate",
+    "apply_gate_batched",
     "basis_state",
+    "fused_operations",
     "probabilities",
     "random_product_state",
+    "random_product_states",
+    "run_batched",
     "sample_counts",
     "statevector",
     "zero_state",
