@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: test bench-routing bench-sim bench-smoke bench-figures
+.PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke
 
 # Tier-1 test suite.
 test:
@@ -26,6 +26,14 @@ bench-sim:
 bench-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_routing_hotpath.py --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_oracle_metrics.py --smoke
+
+# Differential/metamorphic fuzz gate: first a planted-bug self-test
+# (the harness must find and shrink a deliberate router off-by-one),
+# then a fixed 200-sample block through the full invariant bank.
+# Reproducers for any failure land under results/fuzz/.
+fuzz-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli fuzz --samples 200 --seed 2022 \
+		--self-test --out results/fuzz
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main workflows::
+The subcommands mirror the library's main workflows::
 
     repro profile  <circuit.qasm> [...]     # Table I profiling
     repro map      <circuit.qasm> --device surface17 --mapper sabre
     repro suite    <directory> --num 20     # generate a QASM benchmark corpus
     repro reproduce [--full]                # regenerate the paper's figures
+    repro fuzz     --samples 200            # differential fuzz the mapping stack
 
 Every subcommand is also reachable as ``python -m repro.cli ...``.
 """
@@ -138,6 +139,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
+    from .runtime import workers_from_env
     from .workloads import evaluation_suite, save_suite
 
     suite = evaluation_suite(
@@ -146,9 +148,29 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         max_qubits=args.max_qubits,
         max_gates=args.max_gates,
     )
-    paths = save_suite(suite, args.directory)
+    workers = args.workers if args.workers is not None else workers_from_env()
+    paths = save_suite(suite, args.directory, workers=workers)
     print(f"wrote {len(paths)} circuits + manifest to {args.directory}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import planted_bug_selftest, run_fuzz
+
+    if args.self_test:
+        print("self-test: planting an off-by-one in the incremental router ...")
+        planted_bug_selftest()
+        print("self-test: planted bug found and shrunk — harness is live")
+    report = run_fuzz(
+        seed=args.seed,
+        samples=args.samples,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+    )
+    print(report.format())
+    if not report.ok and args.out:
+        print(f"reproducers dumped under {args.out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -256,7 +278,42 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=2022)
     suite.add_argument("--max-qubits", type=int, default=20)
     suite.add_argument("--max-gates", type=int, default=500)
+    suite.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        help="serialise circuits across N worker processes "
+        "(default: REPRO_WORKERS or serial)",
+    )
     suite.set_defaults(handler=_cmd_suite)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential + metamorphic fuzz of the mapping stack",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=2022, help="seed block to fuzz"
+    )
+    fuzz.add_argument(
+        "--samples", type=int, default=200, help="samples in the block"
+    )
+    fuzz.add_argument(
+        "--out",
+        default=None,
+        help="directory for minimal reproducers (e.g. results/fuzz)",
+    )
+    fuzz.add_argument(
+        "--self-test",
+        action="store_true",
+        help="first prove the harness finds+shrinks a planted router bug",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging of failing samples",
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     report = commands.add_parser(
         "report", help="map a QASM corpus and write a markdown report"

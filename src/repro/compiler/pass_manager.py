@@ -50,6 +50,23 @@ class PassRecord:
     def gate_delta(self) -> int:
         return self.gates_after - self.gates_before
 
+    @property
+    def depth_delta(self) -> int:
+        return self.depth_after - self.depth_before
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the record (deltas included)."""
+        return {
+            "name": self.name,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "gate_delta": self.gate_delta,
+            "depth_before": self.depth_before,
+            "depth_after": self.depth_after,
+            "depth_delta": self.depth_delta,
+            "seconds": self.seconds,
+        }
+
 
 @dataclass
 class PassTranscript:
@@ -67,6 +84,28 @@ class PassTranscript:
             if record.name == name:
                 return record
         raise KeyError(f"no pass named {name!r} in transcript")
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the whole run.
+
+        Carries every stage record (with gate/depth deltas), the summed
+        wall time and the final circuit's headline sizes — everything an
+        external dashboard or regression tracker needs, without the
+        circuit itself.
+        """
+        return {
+            "passes": [record.to_dict() for record in self.records],
+            "total_seconds": self.total_seconds,
+            "final_num_qubits": self.circuit.num_qubits,
+            "final_num_gates": self.circuit.num_gates,
+            "final_depth": self.circuit.depth(),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` view serialised as a JSON document."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
 
     def format(self) -> str:
         """Aligned text table of the transcript."""

@@ -323,7 +323,29 @@ class SabreRouter(Router):
         self.decay_reset_interval = decay_reset_interval
         self.incremental = incremental
         self.stall_limit = stall_limit
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
+
+    def twin(self) -> "SabreRouter":
+        """A freshly seeded clone running the *other* scoring path.
+
+        The twin shares every hyperparameter (including the tie-break
+        seed) but has ``incremental`` flipped, so routing the same
+        circuit through ``router`` and ``router.twin()`` exercises the
+        fast path against the verbatim legacy implementation — the
+        differential oracle the fuzz harness is built on.  Both routers
+        must be fresh (no prior ``route`` calls) for the RNG streams to
+        stay aligned.
+        """
+        return type(self)(
+            lookahead_size=self.lookahead_size,
+            lookahead_weight=self.lookahead_weight,
+            decay_delta=self.decay_delta,
+            decay_reset_interval=self.decay_reset_interval,
+            seed=self.seed,
+            incremental=not self.incremental,
+            stall_limit=self.stall_limit,
+        )
 
     # -- distance metric -------------------------------------------------
     def _build_distance_matrix(self, device: Device) -> np.ndarray:

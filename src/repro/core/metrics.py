@@ -30,6 +30,8 @@ __all__ = [
     "circuit_graph_metrics",
     "clear_metrics_cache",
     "metrics_cache_info",
+    "metrics_twin_deltas",
+    "BETWEENNESS_METRICS",
     "METRIC_NAMES",
     "PAPER_RETAINED_METRICS",
     "TABLE1_ROWS",
@@ -458,6 +460,27 @@ def compute_metrics(
         weight_entropy=_weight_entropy(weights),
         connected=1.0 if connected else 0.0,
     )
+
+
+#: The only metrics whose vectorized/reference twins may differ by float
+#: accumulation order (level-synchronous vs stack-order Brandes); every
+#: other metric must agree bit for bit.  The fuzz harness' differential
+#: invariant keys its tolerances on this set.
+BETWEENNESS_METRICS: Tuple[str, str] = ("betweenness_mean", "betweenness_max")
+
+
+def metrics_twin_deltas(graph: InteractionGraph) -> Dict[str, float]:
+    """Per-metric absolute deltas between the vectorized and reference paths.
+
+    Evaluates :func:`compute_metrics` twice on ``graph`` — once through
+    the numpy array code, once through the original per-node loops — and
+    returns ``{metric_name: |fast - slow|}``.  The contract the
+    differential fuzzer enforces: every delta is exactly ``0.0`` except
+    the :data:`BETWEENNESS_METRICS` pair, which must stay below ``1e-12``.
+    """
+    fast = compute_metrics(graph, vectorized=True).as_dict()
+    slow = compute_metrics(graph, vectorized=False).as_dict()
+    return {name: abs(fast[name] - slow[name]) for name in fast}
 
 
 #: Memoised per-circuit metric vectors, keyed on circuit content hash.

@@ -11,7 +11,7 @@ unassigned physical qubits returned to |0>.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "states_equivalent",
     "circuits_equivalent",
     "verify_mapping",
+    "verify_mapping_twin",
 ]
 
 
@@ -186,3 +187,32 @@ def verify_mapping(
         if not allclose_up_to_global_phase(physical_out, expected, atol=atol):
             return False
     return True
+
+
+def verify_mapping_twin(
+    original: Circuit,
+    mapped: Circuit,
+    initial_layout: Dict[int, int],
+    final_layout: Dict[int, int],
+    trials: int = 3,
+    seed: Optional[int] = 1234,
+    atol: float = 1e-7,
+) -> Tuple[bool, bool]:
+    """Run both oracle paths and return ``(batched, serial)`` verdicts.
+
+    The batched path draws its random product-state inputs from the same
+    seeded stream as the serial loop, so for any circuit the two verdicts
+    are contractually identical; a mismatch is a bug in one of the oracle
+    implementations.  This is the differential hook the fuzz harness'
+    invariant bank calls — callers that only need one verdict should use
+    :func:`verify_mapping` directly.
+    """
+    batched = verify_mapping(
+        original, mapped, initial_layout, final_layout,
+        trials=trials, seed=seed, atol=atol, batched=True,
+    )
+    serial = verify_mapping(
+        original, mapped, initial_layout, final_layout,
+        trials=trials, seed=seed, atol=atol, batched=False,
+    )
+    return batched, serial

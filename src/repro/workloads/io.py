@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..circuit import parse_qasm, to_qasm
 from .suite import BenchmarkCircuit, FAMILIES
@@ -27,22 +27,48 @@ def _file_name(index: int, benchmark: BenchmarkCircuit) -> str:
     return f"{index:04d}_{stem}.qasm"
 
 
+def _render_benchmark(benchmark: BenchmarkCircuit) -> str:
+    """Serialise one suite member; module-level so workers can import it."""
+    return to_qasm(benchmark.circuit)
+
+
 def save_suite(
-    suite: Sequence[BenchmarkCircuit], directory: Union[str, Path]
+    suite: Sequence[BenchmarkCircuit],
+    directory: Union[str, Path],
+    workers: Optional[int] = None,
 ) -> List[Path]:
     """Write a suite to ``directory`` (one QASM file each + manifest).
 
     The directory is created if needed; existing files are overwritten.
     Returns the written circuit paths (manifest excluded).
+
+    ``workers`` fans the QASM serialisation out over that many processes
+    (serialisation is pure, so the written files are byte-identical to a
+    serial run); ``None`` or ``1`` keeps the serial loop.  All filesystem
+    writes happen in the parent either way.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    suite = list(suite)
+    if workers is not None and workers > 1:
+        from ..runtime.parallel import parallel_map
+
+        result = parallel_map(_render_benchmark, suite, workers=workers)
+        failed = [o for o in result.outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                f"serialising benchmark {failed[0].index} failed: "
+                f"{failed[0].error}"
+            )
+        sources = [o.value for o in result.outcomes]
+    else:
+        sources = [_render_benchmark(benchmark) for benchmark in suite]
     paths: List[Path] = []
     manifest_rows = ["index\tfile\tfamily\tname"]
-    for index, benchmark in enumerate(suite):
+    for index, (benchmark, source) in enumerate(zip(suite, sources)):
         name = _file_name(index, benchmark)
         path = directory / name
-        path.write_text(to_qasm(benchmark.circuit))
+        path.write_text(source)
         paths.append(path)
         manifest_rows.append(
             f"{index}\t{name}\t{benchmark.family}\t{benchmark.source}"

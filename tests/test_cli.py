@@ -80,6 +80,37 @@ class TestSuiteCommand:
 
         assert len(load_suite(target)) == 5
 
+    def test_workers_flag_matches_serial(self, tmp_path, capsys):
+        serial = tmp_path / "serial"
+        pooled = tmp_path / "pooled"
+        base = ["--num", "4", "--max-qubits", "6", "--max-gates", "40"]
+        assert main(["suite", str(serial)] + base + ["--workers", "1"]) == 0
+        assert main(["suite", str(pooled)] + base + ["--workers", "2"]) == 0
+        serial_files = sorted(p.name for p in serial.iterdir())
+        assert serial_files == sorted(p.name for p in pooled.iterdir())
+        for name in serial_files:
+            assert (serial / name).read_bytes() == (pooled / name).read_bytes()
+
+
+class TestFuzzCommand:
+    def test_green_block_exits_zero(self, tmp_path, capsys):
+        assert main(
+            ["fuzz", "--samples", "16", "--seed", "2022",
+             "--out", str(tmp_path / "fuzz")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "16 samples, 0 failure(s)" in out
+        assert "sabre_twin" in out
+        # Green runs leave no reproducer directory behind.
+        assert not (tmp_path / "fuzz").exists()
+
+    def test_self_test_flag(self, capsys):
+        assert main(
+            ["fuzz", "--samples", "4", "--self-test"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "planted bug found and shrunk" in out
+
 
 class TestParser:
     def test_requires_command(self):

@@ -1,0 +1,115 @@
+"""The fuzz sample generator: determinism, coverage, round-trips."""
+
+import math
+
+import pytest
+
+from repro.circuit import parse_qasm, to_qasm
+from repro.fuzz import (
+    CIRCUIT_CLASSES,
+    TOPOLOGY_CLASSES,
+    FuzzSeed,
+    generate_sample,
+    minimal_device,
+    sample_block,
+)
+from repro.fuzz.generator import MAX_CIRCUIT_QUBITS
+
+
+class TestDeterminism:
+    def test_same_seed_same_sample(self):
+        a = generate_sample(FuzzSeed(7, 3))
+        b = generate_sample(FuzzSeed(7, 3))
+        assert a.circuit == b.circuit
+        assert a.device.name == b.device.name
+        assert a.device.coupling.edges == b.device.coupling.edges
+
+    def test_different_indices_differ(self):
+        # Same class pairing, different RNG stream: indices 0 and 16.
+        a = generate_sample(FuzzSeed(7, 0))
+        b = generate_sample(FuzzSeed(7, 16))
+        assert (a.circuit_class, a.topology_class) == (
+            b.circuit_class,
+            b.topology_class,
+        )
+        assert a.circuit != b.circuit
+
+    def test_salted_rngs_are_independent(self):
+        seed = FuzzSeed(3, 1)
+        assert seed.rng(salt=0).integers(2**30) != seed.rng(salt=1).integers(
+            2**30
+        )
+
+
+class TestCoverage:
+    def test_block_of_16_covers_every_pairing(self):
+        pairings = {
+            (s.circuit_class, s.topology_class)
+            for s in sample_block(2022, 16)
+        }
+        assert pairings == {
+            (c, t) for c in CIRCUIT_CLASSES for t in TOPOLOGY_CLASSES
+        }
+
+    def test_pathological_class_produces_edge_cases(self):
+        # Over a long block the pathological generator must emit at
+        # least one empty circuit and one with zero 2q gates.
+        pathological = [
+            s.circuit
+            for s in sample_block(2022, 200)
+            if s.circuit_class == "pathological"
+        ]
+        assert any(len(c) == 0 for c in pathological)
+        assert any(
+            len(c) > 0 and not any(g.is_two_qubit for g in c)
+            for c in pathological
+        )
+
+    def test_width_capped(self):
+        for sample in sample_block(5, 64):
+            assert sample.circuit.num_qubits <= MAX_CIRCUIT_QUBITS
+
+    def test_device_fits_circuit(self):
+        for sample in sample_block(9, 64):
+            assert sample.device.num_qubits >= sample.circuit.num_qubits
+            assert sample.device.coupling.is_connected()
+
+    def test_describe_mentions_coordinates(self):
+        text = generate_sample(FuzzSeed(4, 2)).describe()
+        assert "seed=4" in text and "index=2" in text
+
+
+class TestMinimalDevice:
+    @pytest.mark.parametrize("topology_class", TOPOLOGY_CLASSES)
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 7])
+    def test_fits_and_connected(self, topology_class, width):
+        device = minimal_device(topology_class, width)
+        assert device.num_qubits >= width
+        assert device.coupling.is_connected()
+
+    def test_deterministic(self):
+        a = minimal_device("random", 5)
+        b = minimal_device("random", 5)
+        assert a.coupling.edges == b.coupling.edges
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology class"):
+            minimal_device("torus", 4)
+
+
+class TestQasmRoundTripProperty:
+    """Satellite: ``parse(dump(c))`` is the identity on every generated
+    class — gates, parameters and qubit order all survive."""
+
+    @pytest.mark.parametrize("index", range(32))
+    def test_round_trip(self, index):
+        circuit = generate_sample(FuzzSeed(2022, index)).circuit
+        parsed = parse_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert len(parsed) == len(circuit)
+        for original, reread in zip(circuit, parsed):
+            assert reread.name == original.name
+            assert reread.qubits == original.qubits
+            assert len(reread.params) == len(original.params)
+            for p, q in zip(original.params, reread.params):
+                assert math.isclose(p, q, rel_tol=0, abs_tol=1e-12)

@@ -1,0 +1,100 @@
+"""The delta-debugging minimizer."""
+
+from dataclasses import replace
+
+from repro.circuit import Circuit
+from repro.fuzz import (
+    FuzzSeed,
+    generate_sample,
+    shrink_circuit,
+    shrink_sample,
+)
+
+
+def _wide_circuit():
+    circuit = Circuit(6, name="haystack")
+    for q in range(6):
+        circuit.h(q)
+    circuit.cx(0, 5)  # the needle
+    for q in range(5):
+        circuit.cx(q, q + 1)
+    circuit.rz(1.25, 3)
+    return circuit
+
+
+class TestShrinkCircuit:
+    def test_drops_irrelevant_gates(self):
+        def still_fails(circuit):
+            return any(
+                g.name == "cx" and set(g.qubits) == {0, 1}
+                for g in circuit.gates
+            )
+
+        needle = Circuit(4).h(0).cx(2, 3).cx(0, 1).h(3).cx(0, 1)
+        shrunk = shrink_circuit(needle, still_fails)
+        assert still_fails(shrunk)
+        assert len(shrunk) == 1
+
+    def test_merges_qubits(self):
+        # Failure only needs *some* 2q gate; the minimizer should both
+        # cut gates and collapse the register.
+        def still_fails(circuit):
+            return any(g.is_two_qubit for g in circuit.gates)
+
+        shrunk = shrink_circuit(_wide_circuit(), still_fails)
+        assert still_fails(shrunk)
+        assert len(shrunk) == 1
+        assert shrunk.num_qubits == 2
+
+    def test_keeps_unshrinkable_failure(self):
+        circuit = Circuit(2).cx(0, 1)
+
+        def still_fails(candidate):
+            return len(candidate) == 1 and candidate.gates[0].name == "cx"
+
+        shrunk = shrink_circuit(circuit, still_fails)
+        assert shrunk.gates == circuit.gates
+
+    def test_predicate_exception_counts_as_pass(self):
+        # A predicate that explodes on the empty circuit must not trap
+        # the shrinker: it treats the probe as "does not fail".
+        def touchy(circuit):
+            if len(circuit) == 0:
+                raise RuntimeError("cannot judge an empty circuit")
+            return True
+
+        shrunk = shrink_circuit(Circuit(2).h(0).h(1), touchy)
+        assert len(shrunk) >= 1
+
+    def test_deterministic(self):
+        def still_fails(circuit):
+            return sum(g.is_two_qubit for g in circuit.gates) >= 2
+
+        a = shrink_circuit(_wide_circuit(), still_fails)
+        b = shrink_circuit(_wide_circuit(), still_fails)
+        assert a == b
+
+
+class TestShrinkSample:
+    def test_shrinks_circuit_and_device(self):
+        sample = generate_sample(FuzzSeed(2022, 0))  # random/ring
+        wide = replace(sample, circuit=_wide_circuit())
+
+        def still_fails(candidate):
+            return any(g.is_two_qubit for g in candidate.circuit.gates)
+
+        result = shrink_sample(wide, still_fails)
+        assert result.reduced
+        assert len(result.sample.circuit) == 1
+        assert result.sample.circuit.num_qubits == 2
+        # Ring devices bottom out at 3 qubits.
+        assert result.sample.device.num_qubits == 3
+        assert result.probes > 0
+
+    def test_records_before_after(self):
+        sample = generate_sample(FuzzSeed(2022, 0))
+        wide = replace(sample, circuit=_wide_circuit())
+        result = shrink_sample(wide, lambda s: len(s.circuit.gates) >= 1)
+        assert result.gates_before == len(_wide_circuit())
+        assert result.gates_after == len(result.sample.circuit)
+        assert result.gates_after <= result.gates_before

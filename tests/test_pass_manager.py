@@ -94,3 +94,69 @@ class TestPassManager:
         assert transcript.records == []
         assert transcript.circuit == circuit
         assert len(PassManager()) == 0
+
+
+class TestTranscriptExport:
+    def _transcript(self):
+        return (
+            PassManager()
+            .append("decompose", _decompose)
+            .append("optimize", optimize_circuit)
+            .run(qft(4, do_swaps=False))
+        )
+
+    def test_to_dict_carries_deltas(self):
+        payload = self._transcript().to_dict()
+        assert [p["name"] for p in payload["passes"]] == [
+            "decompose",
+            "optimize",
+        ]
+        for stage in payload["passes"]:
+            assert stage["gate_delta"] == (
+                stage["gates_after"] - stage["gates_before"]
+            )
+            assert stage["depth_delta"] == (
+                stage["depth_after"] - stage["depth_before"]
+            )
+        # Decomposition expands cp gates; optimisation never grows.
+        assert payload["passes"][0]["gate_delta"] > 0
+        assert payload["passes"][1]["gate_delta"] <= 0
+
+    def test_to_dict_final_sizes_match_circuit(self):
+        transcript = self._transcript()
+        payload = transcript.to_dict()
+        assert payload["final_num_gates"] == transcript.circuit.num_gates
+        assert payload["final_depth"] == transcript.circuit.depth()
+        assert payload["final_num_qubits"] == transcript.circuit.num_qubits
+        assert payload["total_seconds"] == pytest.approx(
+            transcript.total_seconds
+        )
+
+    def test_to_json_round_trips(self):
+        import json
+
+        transcript = self._transcript()
+        assert json.loads(transcript.to_json()) == transcript.to_dict()
+        assert json.loads(transcript.to_json(indent=2)) == transcript.to_dict()
+
+    def test_mid_pipeline_failure_propagates(self):
+        # A pass blowing up mid-pipeline must surface its own error, not
+        # a partial transcript: later passes never run.
+        ran = []
+
+        def exploding(circuit):
+            raise ValueError("stage two is broken")
+
+        def recording(circuit):
+            ran.append(True)
+            return circuit
+
+        manager = (
+            PassManager()
+            .append("decompose", _decompose)
+            .append("explode", exploding)
+            .append("after", recording)
+        )
+        with pytest.raises(ValueError, match="stage two is broken"):
+            manager.run(qft(3))
+        assert ran == []

@@ -102,6 +102,26 @@ class TestSuiteRunner:
         assert pickle.dumps(serial.records) == pickle.dumps(pooled.records)
         assert not serial.fell_back and not pooled.fell_back
 
+    def test_seeded_fuzz_suite_workers_one_vs_four_byte_identical(self):
+        # Regression gate for the determinism contract on adversarial
+        # inputs: a fuzz-generated suite (fixed seed block) must map to
+        # byte-identical records at workers=1 and workers=4.
+        from repro.fuzz import sample_block
+
+        suite = [
+            BenchmarkCircuit(s.circuit, "random", s.describe())
+            for s in sample_block(2022, 16)
+            if len(s.circuit) > 0
+        ][:8]
+        device = surface17_device()
+        serial = run_suite_parallel(suite, device, sabre_mapper(), workers=1)
+        pooled = run_suite_parallel(suite, device, sabre_mapper(), workers=4)
+        assert pickle.dumps(serial.records) == pickle.dumps(pooled.records)
+        assert serial.skipped == pooled.skipped
+        assert [f.name for f in serial.failures] == [
+            f.name for f in pooled.failures
+        ]
+
     def test_report_contents(self):
         suite = small_suite(4)
         report = run_suite_parallel(

@@ -213,3 +213,17 @@ class TestSuiteIo:
         save_suite(small_suite(2), tmp_path)
         save_suite(small_suite(2), tmp_path)
         assert len(load_suite(tmp_path)) == 2
+
+    def test_parallel_save_byte_identical(self, tmp_path):
+        suite = small_suite(5)
+        serial_dir = tmp_path / "serial"
+        pooled_dir = tmp_path / "pooled"
+        save_suite(suite, serial_dir, workers=1)
+        save_suite(suite, pooled_dir, workers=2)
+        serial_files = sorted(p.name for p in serial_dir.iterdir())
+        pooled_files = sorted(p.name for p in pooled_dir.iterdir())
+        assert serial_files == pooled_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                pooled_dir / name
+            ).read_bytes()
