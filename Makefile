@@ -3,7 +3,8 @@
 
 PY ?= python
 
-.PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke
+.PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke \
+	trace-smoke
 
 # Tier-1 test suite.
 test:
@@ -34,6 +35,12 @@ bench-smoke:
 fuzz-smoke:
 	PYTHONPATH=src $(PY) -m repro.cli fuzz --samples 200 --seed 2022 \
 		--self-test --out results/fuzz
+
+# Telemetry smoke gate: traces a 10-circuit suite, validates the
+# JSONL/Chrome/Prometheus outputs (expected span names, lossless worker
+# merge) and fails when telemetry-on routing overhead exceeds 10%.
+trace-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_telemetry_overhead.py
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

@@ -1,0 +1,237 @@
+"""Trace-smoke gate: telemetry outputs are valid and near-free.
+
+Two checks, both against the observability layer added in
+``repro.telemetry``:
+
+1. **Traced suite** — maps a 10-circuit suite with telemetry on and an
+   export directory, then validates all three exporter outputs: every
+   ``events.jsonl`` line parses and the expected span names are present
+   (``suite.run`` down to the ``map.*`` stages and ``route.sabre``),
+   ``trace.json`` loads as a Chrome trace with one complete event per
+   span, ``metrics.prom`` parses as Prometheus text exposition with the
+   routing metric families, and the per-worker shards merged into a
+   lossless ``workers/merged.jsonl``.
+2. **Overhead** — routes the ``bench_routing_hotpath`` smoke workload
+   with telemetry off and on (min of ``--repeats`` each) and fails when
+   the traced time exceeds ``OVERHEAD_LIMIT`` x the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+Exits non-zero on any validation failure or overhead regression; this
+is what ``make trace-smoke`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import tempfile
+from pathlib import Path
+
+from bench_routing_hotpath import (
+    ROUTER_SEED,
+    SMOKE_CIRCUITS,
+    SMOKE_MAX_GATES,
+    _route_all,
+    _workload,
+)
+
+from repro import telemetry
+from repro.compiler.mapper import sabre_mapper
+from repro.compiler.routing import SabreRouter, clear_distance_cache
+from repro.hardware.device import surface17_device
+from repro.runtime import run_suite_parallel
+from repro.telemetry.export import read_jsonl
+from repro.telemetry.merge import MERGED_FILENAME, WORKER_DIR_NAME
+from repro.workloads import evaluation_suite
+
+#: Telemetry-on wall time must stay below this multiple of telemetry-off.
+OVERHEAD_LIMIT = 1.10
+
+#: Span names the traced suite run must produce.
+EXPECTED_SPANS = {
+    "suite.run",
+    "suite.circuit",
+    "map.run",
+    "map.decompose",
+    "map.place",
+    "map.route",
+    "map.lower",
+    "map.schedule",
+    "route.sabre",
+}
+
+#: Metric families the traced suite run must expose in metrics.prom.
+EXPECTED_METRICS = {
+    "repro_route_runs",
+    "repro_swaps_inserted",
+    "repro_route_swaps_per_circuit",
+}
+
+#: Prometheus text exposition: `# TYPE ...` or `name{labels} value`.
+_PROM_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+-]+$"
+)
+
+_TRACE_SEED = 2022
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"trace-smoke FAILED: {message}")
+
+
+def _traced_suite(export_dir: Path) -> None:
+    """Map 10 circuits traced and validate every exporter output."""
+    device = surface17_device()
+    suite = evaluation_suite(
+        num_circuits=SMOKE_CIRCUITS,
+        seed=_TRACE_SEED,
+        max_qubits=device.num_qubits,
+        max_gates=400,
+    )
+    with telemetry.session(export_dir=export_dir) as tele:
+        report = run_suite_parallel(
+            suite, device=device, mapper=sabre_mapper(seed=_TRACE_SEED),
+            workers=2,
+        )
+    if len(report.records) != len(suite):
+        _fail(f"suite mapped {len(report.records)}/{len(suite)} circuits")
+
+    # events.jsonl: every line parses, expected span names all present.
+    events = read_jsonl(tele.paths["events"])
+    names = {event["name"] for event in events}
+    missing = EXPECTED_SPANS - names
+    if missing:
+        _fail(f"events.jsonl is missing span names: {sorted(missing)}")
+
+    # trace.json: Chrome trace with one complete event per span.
+    trace = json.loads(Path(tele.paths["trace"]).read_text())
+    trace_events = trace.get("traceEvents", [])
+    if len(trace_events) != len(events):
+        _fail(
+            f"trace.json has {len(trace_events)} events for "
+            f"{len(events)} spans"
+        )
+    if any(event.get("ph") != "X" for event in trace_events):
+        _fail("trace.json contains non-complete ('ph' != 'X') events")
+
+    # metrics.prom: parseable text exposition, routing families present.
+    prom_lines = [
+        line
+        for line in Path(tele.paths["metrics"]).read_text().splitlines()
+        if line.strip()
+    ]
+    for line in prom_lines:
+        if line.startswith("#"):
+            continue
+        if not _PROM_SAMPLE_RE.match(line):
+            _fail(f"metrics.prom line does not parse: {line!r}")
+    families = {
+        line.split()[2] for line in prom_lines if line.startswith("# TYPE")
+    }
+    missing_metrics = {
+        name
+        for name in EXPECTED_METRICS
+        if not any(f.startswith(name) for f in families)
+    }
+    if missing_metrics:
+        _fail(f"metrics.prom is missing families: {sorted(missing_metrics)}")
+
+    # Per-worker shards merged without loss.
+    merged_path = export_dir / WORKER_DIR_NAME / MERGED_FILENAME
+    if not merged_path.is_file():
+        _fail(f"no merged worker shard log at {merged_path}")
+    merged = read_jsonl(merged_path)
+    # Everything except the parent's suite.run root came from a worker
+    # shard, so the merge must preserve it all, in suite order.
+    per_circuit = [e for e in events if e["name"] != "suite.run"]
+    if sorted(e["name"] for e in merged) != sorted(
+        e["name"] for e in per_circuit
+    ):
+        _fail(
+            f"merged.jsonl lost events: {len(merged)} merged vs "
+            f"{len(per_circuit)} captured"
+        )
+    batches = [e.get("batch") for e in merged]
+    if batches != sorted(batches):
+        _fail("merged.jsonl is not in suite (batch) order")
+
+    # Stage breakdown rode along on every timing.
+    stages = set()
+    for timing in report.timings:
+        stages.update(timing.stages)
+    expected_stages = {"decompose", "place", "route", "lower", "schedule"}
+    if not expected_stages <= stages:
+        _fail(f"stage breakdown incomplete: {sorted(stages)}")
+
+    print(
+        f"traced suite ok: {len(events)} spans, "
+        f"{len(prom_lines)} metrics.prom lines, "
+        f"{len(merged)} merged worker events"
+    )
+
+
+def _route_time(enabled: bool, device, circuits, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        if enabled:
+            with telemetry.capture(enabled=True):
+                elapsed, _ = _route_all(SabreRouter, True, device, circuits)
+        else:
+            elapsed, _ = _route_all(SabreRouter, True, device, circuits)
+        best = min(best, elapsed)
+    return best
+
+
+def _overhead_gate(repeats: int) -> None:
+    """Telemetry-on must stay within OVERHEAD_LIMIT of telemetry-off."""
+    device, circuits, _ = _workload(SMOKE_CIRCUITS, SMOKE_MAX_GATES)
+    clear_distance_cache()
+    _route_all(SabreRouter, True, device, circuits)  # warm caches
+    off_s = _route_time(False, device, circuits, repeats)
+    on_s = _route_time(True, device, circuits, repeats)
+    ratio = on_s / off_s
+    status = "ok" if ratio <= OVERHEAD_LIMIT else "FAILED"
+    print(
+        f"overhead gate (seed {ROUTER_SEED}): off {off_s:.3f}s, "
+        f"on {on_s:.3f}s -> {ratio:.3f}x "
+        f"(limit {OVERHEAD_LIMIT:.2f}x) ... {status}"
+    )
+    if ratio > OVERHEAD_LIMIT:
+        _fail(
+            f"telemetry overhead {ratio:.3f}x exceeds the "
+            f"{OVERHEAD_LIMIT:.2f}x limit"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="export directory for the traced suite "
+        "(default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per overhead path (min is kept)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is not None:
+        _traced_suite(args.out)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            _traced_suite(Path(tmp) / "telemetry")
+    _overhead_gate(args.repeats)
+    print("trace-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,14 +45,14 @@ def main(argv=None) -> None:
         f"mapping {len(suite)} benchmarks onto the "
         f"{paper_configuration().name} with the trivial mapper ..."
     )
-    started = time.time()
+    started = time.perf_counter()
     records = run_suite(
         suite,
         progress=lambda i, n, name: (
             print(f"  {i}/{n} {name}", file=sys.stderr) if i % 25 == 0 else None
         ),
     )
-    print(f"done in {time.time() - started:.1f}s\n")
+    print(f"done in {time.perf_counter() - started:.1f}s\n")
 
     banner = "=" * 72
     print(banner)

@@ -76,6 +76,8 @@ from .workloads import evaluation_suite, small_suite
 from .runtime import SuiteRunReport, parallel_map, run_suite_parallel
 from .fullstack import ControlModel, FullStack
 from .sim import Simulator, statevector, verify_mapping
+from . import telemetry
+from .telemetry import span, traced
 
 __version__ = "1.0.0"
 

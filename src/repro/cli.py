@@ -4,6 +4,8 @@ The subcommands mirror the library's main workflows::
 
     repro profile  <circuit.qasm> [...]     # Table I profiling
     repro map      <circuit.qasm> --device surface17 --mapper sabre
+    repro trace    <circuit.qasm>           # traced mapping -> telemetry files
+    repro metrics  [results/telemetry]      # inspect an exported telemetry dir
     repro suite    <directory> --num 20     # generate a QASM benchmark corpus
     repro reproduce [--full]                # regenerate the paper's figures
     repro fuzz     --samples 200            # differential fuzz the mapping stack
@@ -138,6 +140,102 @@ def _cmd_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_span_tree(spans) -> str:
+    """Indented one-line-per-span rendering of a span batch."""
+    by_parent = {}
+    by_id = {}
+    for span_record in spans:
+        by_id[span_record.span_id] = span_record
+        by_parent.setdefault(span_record.parent_id, []).append(span_record)
+
+    lines = []
+
+    def render(span_record, depth: int) -> None:
+        attrs = ", ".join(
+            f"{k}={v}"
+            for k, v in sorted(span_record.attributes.items())
+            if k not in ("error",)
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{span_record.name:<{max(1, 28 - 2 * depth)}s} "
+            f"{span_record.duration_s * 1000:9.3f} ms{suffix}"
+        )
+        children = sorted(
+            by_parent.get(span_record.span_id, []), key=lambda s: s.start_s
+        )
+        for child in children:
+            render(child, depth + 1)
+
+    roots = sorted(
+        (s for s in spans if s.parent_id not in by_id),
+        key=lambda s: s.start_s,
+    )
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import telemetry
+
+    circuit = _load_circuit(args.circuit)
+    device = _resolve_device(args.device)
+    mapper = _MAPPERS[args.mapper]()
+    with telemetry.session(export_dir=args.out) as tele:
+        result = mapper.map(circuit, device)
+        if args.verify:
+            try:
+                result.verify()
+            except ValueError:
+                pass
+    print(_format_span_tree(tele.spans))
+    print()
+    print(
+        f"mapped {circuit.name}: {result.overhead.gates_before} -> "
+        f"{result.overhead.gates_after} gates, {result.swap_count} swaps"
+    )
+    for kind in ("events", "trace", "metrics"):
+        print(f"wrote {tele.paths[kind]}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .telemetry.export import (
+        EVENTS_FILENAME,
+        METRICS_FILENAME,
+        read_jsonl,
+    )
+
+    directory = Path(args.directory)
+    events_path = directory / EVENTS_FILENAME
+    metrics_path = directory / METRICS_FILENAME
+    if not events_path.is_file() and not metrics_path.is_file():
+        raise SystemExit(
+            f"no telemetry found under {directory} (expected "
+            f"{EVENTS_FILENAME} and/or {METRICS_FILENAME}; run "
+            "'repro trace' or a traced suite first)"
+        )
+    if events_path.is_file():
+        totals = {}
+        for event in read_jsonl(events_path):
+            entry = totals.setdefault(event["name"], [0, 0.0])
+            entry[0] += 1
+            entry[1] += event["end_s"] - event["start_s"]
+        print(f"{'span':28s} {'count':>7s} {'total':>12s} {'mean':>12s}")
+        for name in sorted(totals, key=lambda n: -totals[n][1]):
+            count, seconds = totals[name]
+            print(
+                f"{name:28s} {count:7d} {seconds * 1000:10.2f}ms "
+                f"{seconds / count * 1000:10.3f}ms"
+            )
+    if metrics_path.is_file():
+        if events_path.is_file():
+            print()
+        print(metrics_path.read_text(), end="")
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     from .runtime import workers_from_env
     from .workloads import evaluation_suite, save_suite
@@ -269,6 +367,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="check semantics against the state-vector oracle (small circuits)",
     )
     mapping.set_defaults(handler=_cmd_map)
+
+    trace = commands.add_parser(
+        "trace",
+        help="map a QASM circuit with telemetry on and export the trace",
+    )
+    trace.add_argument("circuit", help="OpenQASM 2.0 file")
+    trace.add_argument(
+        "--device",
+        default="surface17",
+        help="surface7|surface17|surface100|surface:N|line:N|grid:RxC",
+    )
+    trace.add_argument(
+        "--mapper", default="sabre", choices=sorted(_MAPPERS)
+    )
+    trace.add_argument(
+        "--out",
+        default="results/telemetry",
+        help="telemetry export directory (events.jsonl, trace.json, "
+        "metrics.prom)",
+    )
+    trace.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run (and trace) the equivalence oracle",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
+    metrics = commands.add_parser(
+        "metrics", help="summarise an exported telemetry directory"
+    )
+    metrics.add_argument(
+        "directory",
+        nargs="?",
+        default="results/telemetry",
+        help="directory written by 'repro trace' or a traced suite run",
+    )
+    metrics.set_defaults(handler=_cmd_metrics)
 
     suite = commands.add_parser(
         "suite", help="generate a QASM benchmark corpus"

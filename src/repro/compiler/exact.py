@@ -50,7 +50,7 @@ class ExactRouter(Router):
         self.max_states = max_states
 
     # ------------------------------------------------------------------
-    def route(
+    def _route(
         self, circuit: Circuit, device: Device, layout: Layout
     ) -> RoutingResult:
         self._validate(circuit, device, layout)

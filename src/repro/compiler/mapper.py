@@ -25,6 +25,7 @@ from ..circuit import Circuit
 from ..hardware.device import Device
 from ..metrics.fidelity import FidelityReport, fidelity_report
 from ..metrics.overhead import OverheadReport, overhead_report
+from ..telemetry.tracing import span
 from .decompose import decompose_circuit
 from .optimize import optimize_circuit
 from .placement import (
@@ -101,9 +102,12 @@ class MappingResult:
 
     def schedule(self, max_parallel_2q: Optional[int] = None) -> Schedule:
         """ASAP schedule of the mapped circuit on the device calibration."""
-        return asap_schedule(
-            self.mapped, self.device.calibration, max_parallel_2q=max_parallel_2q
-        )
+        with span("map.schedule", gates=self.mapped.num_gates):
+            return asap_schedule(
+                self.mapped,
+                self.device.calibration,
+                max_parallel_2q=max_parallel_2q,
+            )
 
     @property
     def latency_ns(self) -> float:
@@ -191,15 +195,34 @@ class QuantumMapper:
         self.name = name or f"{placement.name}+{router.name}"
 
     def map(self, circuit: Circuit, device: Device) -> MappingResult:
-        """Map ``circuit`` onto ``device``; see :class:`MappingResult`."""
-        decomposed = decompose_circuit(circuit, device.gate_set)
-        if self.optimize_input:
-            decomposed = optimize_circuit(decomposed)
-        layout = self.placement.place(decomposed, device)
-        routing: RoutingResult = self.router.route(decomposed, device, layout)
-        mapped = decompose_circuit(routing.circuit, device.gate_set)
-        if self.optimize_output:
-            mapped = optimize_circuit(mapped)
+        """Map ``circuit`` onto ``device``; see :class:`MappingResult`.
+
+        With telemetry enabled, the run is one ``map.run`` span with a
+        child per mapping stage (``map.decompose`` / ``map.place`` /
+        ``map.route`` / ``map.lower``); disabled telemetry adds nothing
+        and changes nothing.
+        """
+        with span(
+            "map.run",
+            mapper=self.name,
+            qubits=circuit.num_qubits,
+            gates=circuit.num_gates,
+            device=device.name,
+        ):
+            with span("map.decompose"):
+                decomposed = decompose_circuit(circuit, device.gate_set)
+                if self.optimize_input:
+                    decomposed = optimize_circuit(decomposed)
+            with span("map.place", placement=self.placement.name):
+                layout = self.placement.place(decomposed, device)
+            with span("map.route", router=self.router.name):
+                routing: RoutingResult = self.router.route(
+                    decomposed, device, layout
+                )
+            with span("map.lower"):
+                mapped = decompose_circuit(routing.circuit, device.gate_set)
+                if self.optimize_output:
+                    mapped = optimize_circuit(mapped)
         return MappingResult(
             original=circuit,
             decomposed=decomposed,

@@ -14,11 +14,14 @@ the library's existing passes into that shape.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..circuit import Circuit
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+from ..telemetry.clock import CLOCK_SOURCE, now
+from ..telemetry.tracing import span
 
 __all__ = ["PassRecord", "PassTranscript", "PassManager"]
 
@@ -96,6 +99,7 @@ class PassTranscript:
         return {
             "passes": [record.to_dict() for record in self.records],
             "total_seconds": self.total_seconds,
+            "clock_source": CLOCK_SOURCE,
             "final_num_qubits": self.circuit.num_qubits,
             "final_num_gates": self.circuit.num_gates,
             "final_depth": self.circuit.depth(),
@@ -161,34 +165,64 @@ class PassManager:
 
     # ------------------------------------------------------------------
     def run(self, circuit: Circuit) -> PassTranscript:
-        """Run every stage in order; returns the instrumented transcript."""
+        """Run every stage in order; returns the instrumented transcript.
+
+        With telemetry enabled, the run emits a ``pipeline.run`` span
+        with one ``pass.<name>`` child per stage, and mirrors every
+        stage's gate/depth deltas into the metrics registry
+        (``pass_gate_delta`` / ``pass_depth_delta`` histograms and the
+        ``pass_runs`` / ``pass_seconds_total`` counters, labelled by
+        pass name).
+        """
         records: List[PassRecord] = []
         current = circuit
-        for name, circuit_pass in self._passes:
-            gates_before = current.num_gates
-            depth_before = current.depth()
-            started = time.perf_counter()
-            produced = circuit_pass(current)
-            elapsed = time.perf_counter() - started
-            if not isinstance(produced, Circuit):
-                raise TypeError(
-                    f"pass {name!r} returned {type(produced).__name__}, "
-                    "expected Circuit"
-                )
-            if self.validate:
-                self._validate_stage(name, current, produced)
-            records.append(
-                PassRecord(
-                    name=name,
-                    gates_before=gates_before,
-                    gates_after=produced.num_gates,
-                    depth_before=depth_before,
-                    depth_after=produced.depth(),
-                    seconds=elapsed,
-                )
-            )
-            current = produced
+        with span("pipeline.run", passes=len(self._passes)):
+            for name, circuit_pass in self._passes:
+                gates_before = current.num_gates
+                depth_before = current.depth()
+                with span(f"pass.{name}", gates_before=gates_before) as sp:
+                    started = now()
+                    produced = circuit_pass(current)
+                    elapsed = now() - started
+                    if not isinstance(produced, Circuit):
+                        raise TypeError(
+                            f"pass {name!r} returned "
+                            f"{type(produced).__name__}, expected Circuit"
+                        )
+                    if self.validate:
+                        self._validate_stage(name, current, produced)
+                    record = PassRecord(
+                        name=name,
+                        gates_before=gates_before,
+                        gates_after=produced.num_gates,
+                        depth_before=depth_before,
+                        depth_after=produced.depth(),
+                        seconds=elapsed,
+                    )
+                    sp.set("gates_after", record.gates_after)
+                    sp.set("gate_delta", record.gate_delta)
+                    sp.set("depth_delta", record.depth_delta)
+                self._mirror_to_metrics(record)
+                records.append(record)
+                current = produced
         return PassTranscript(records, current)
+
+    @staticmethod
+    def _mirror_to_metrics(record: PassRecord) -> None:
+        """Expose one stage's transcript deltas as labelled metrics."""
+        if not tracing.is_enabled():
+            return
+        labels = {"pass": record.name}
+        telemetry_metrics.counter("pass_runs", **labels).inc()
+        telemetry_metrics.counter("pass_seconds_total", **labels).inc(
+            record.seconds
+        )
+        telemetry_metrics.histogram("pass_gate_delta", **labels).observe(
+            record.gate_delta
+        )
+        telemetry_metrics.histogram("pass_depth_delta", **labels).observe(
+            record.depth_delta
+        )
 
     @staticmethod
     def _validate_stage(name: str, before: Circuit, after: Circuit) -> None:

@@ -32,6 +32,9 @@ import numpy as np
 from ..circuit import Circuit, CircuitDag, ExecutionFrontier
 from ..circuit.gates import Gate
 from ..hardware.device import Device
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+from ..telemetry.tracing import span
 from .layout import Layout
 
 __all__ = [
@@ -164,11 +167,43 @@ def _endpoint_arrays(
 
 
 class Router:
-    """Interface of routing strategies."""
+    """Interface of routing strategies.
+
+    Concrete routers implement :meth:`_route`; the public :meth:`route`
+    wraps it in telemetry (one ``route.<name>`` span per call plus
+    swap/bridge counters labelled by router).  With telemetry disabled
+    the wrapper is a plain delegation — no spans, no counters, no
+    behavioural difference, which the no-op regression tests pin.
+    """
 
     name = "router"
 
     def route(
+        self, circuit: Circuit, device: Device, layout: Layout
+    ) -> RoutingResult:
+        with span(
+            f"route.{self.name}",
+            qubits=circuit.num_qubits,
+            gates=circuit.num_gates,
+        ) as sp:
+            result = self._route(circuit, device, layout)
+            sp.set("swap_count", result.swap_count)
+            sp.set("bridge_count", result.bridge_count)
+        if tracing.is_enabled():
+            labels = {"router": self.name}
+            telemetry_metrics.counter("route_runs", **labels).inc()
+            telemetry_metrics.counter("swaps_inserted", **labels).inc(
+                result.swap_count
+            )
+            telemetry_metrics.counter("bridges_inserted", **labels).inc(
+                result.bridge_count
+            )
+            telemetry_metrics.histogram(
+                "route_swaps_per_circuit", **labels
+            ).observe(result.swap_count)
+        return result
+
+    def _route(
         self, circuit: Circuit, device: Device, layout: Layout
     ) -> RoutingResult:
         raise NotImplementedError
@@ -219,7 +254,7 @@ class TrivialRouter(Router):
     def __init__(self, use_bridge: bool = False) -> None:
         self.use_bridge = use_bridge
 
-    def route(
+    def _route(
         self, circuit: Circuit, device: Device, layout: Layout
     ) -> RoutingResult:
         self._validate(circuit, device, layout)
@@ -368,7 +403,7 @@ class SabreRouter(Router):
         )
 
     # ---------------------------------------------------------------------
-    def route(
+    def _route(
         self, circuit: Circuit, device: Device, layout: Layout
     ) -> RoutingResult:
         if not self.incremental:
@@ -385,6 +420,7 @@ class SabreRouter(Router):
         swap_count = 0
         rounds_since_progress = 0
         swap_rounds = 0
+        stall_fallbacks = 0
         stall_limit = (
             self.stall_limit
             if self.stall_limit is not None
@@ -454,6 +490,7 @@ class SabreRouter(Router):
                     layout.swap_physical(path[i], path[i + 1])
                     swap_count += 1
                 rounds_since_progress = 0
+                stall_fallbacks += 1
                 front_gates = None  # endpoint cache is stale now
                 continue
             involved = set(endpoints[0, :num_front])
@@ -477,7 +514,20 @@ class SabreRouter(Router):
             rounds_since_progress += 1
             if swap_rounds % self.decay_reset_interval == 0:
                 decay[:] = 1.0
+        self._count_iterations(swap_rounds, stall_fallbacks)
         return RoutingResult(out, initial, layout.as_dict(), swap_count)
+
+    def _count_iterations(self, swap_rounds: int, stall_fallbacks: int) -> None:
+        """Mirror one route's SABRE loop tallies into labelled counters."""
+        if not tracing.is_enabled():
+            return
+        labels = {"router": self.name}
+        telemetry_metrics.counter("sabre_swap_rounds", **labels).inc(
+            swap_rounds
+        )
+        telemetry_metrics.counter("sabre_stall_fallbacks", **labels).inc(
+            stall_fallbacks
+        )
 
     # ---------------------------------------------------------------------
     # Legacy (pre-optimisation) path, selected with ``incremental=False``.
@@ -503,6 +553,7 @@ class SabreRouter(Router):
         swap_count = 0
         rounds_since_progress = 0
         swap_rounds = 0
+        stall_fallbacks = 0
         stall_limit = (
             self.stall_limit
             if self.stall_limit is not None
@@ -552,6 +603,7 @@ class SabreRouter(Router):
                     layout.swap_physical(path[i], path[i + 1])
                     swap_count += 1
                 rounds_since_progress = 0
+                stall_fallbacks += 1
                 continue
             extended = self._extended_set_legacy(dag, frontier)
             best_swap = self._choose_swap_naive(
@@ -566,6 +618,7 @@ class SabreRouter(Router):
             rounds_since_progress += 1
             if swap_rounds % self.decay_reset_interval == 0:
                 decay[:] = 1.0
+        self._count_iterations(swap_rounds, stall_fallbacks)
         return RoutingResult(out, initial, layout.as_dict(), swap_count)
 
     def _extended_set_legacy(

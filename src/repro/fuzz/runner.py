@@ -22,6 +22,9 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from ..circuit import to_qasm
 from ..compiler.routing import SabreRouter
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+from ..telemetry.tracing import span
 from ..workloads.suite import BenchmarkCircuit
 from .generator import FuzzSeed, generate_sample
 from .invariants import (
@@ -212,41 +215,41 @@ def run_fuzz(
     by_name = {invariant.name: invariant for invariant in bank}
     routable: List[BenchmarkCircuit] = []
 
-    for index in range(samples):
-        sample = generate_sample(FuzzSeed(seed, index))
-        if (
-            len(routable) < 6
-            and len(sample.circuit) > 0
-            and sample.circuit.num_qubits <= sample.device.num_qubits
-        ):
-            routable.append(
-                BenchmarkCircuit(sample.circuit, "random", sample.describe())
-            )
-        for outcome in check_sample(sample, bank):
-            stat = stats[outcome.invariant]
-            if outcome.status == "ok":
-                stat.ok += 1
-                continue
-            if outcome.status == "skipped":
-                stat.skipped += 1
-                continue
-            stat.failed += 1
-            failure = FuzzFailure(
-                seed=seed,
-                index=index,
-                invariant=outcome.invariant,
-                message=outcome.message,
-                circuit_class=sample.circuit_class,
-                topology_class=sample.topology_class,
-            )
-            if shrink:
-                failure.shrunk = shrink_sample(
-                    sample,
-                    _still_fails_predicate(by_name[outcome.invariant]),
+    telemetry_on = tracing.is_enabled()
+    with span("fuzz.run", seed=seed, samples=samples):
+        for index in range(samples):
+            sample = generate_sample(FuzzSeed(seed, index))
+            if telemetry_on:
+                telemetry_metrics.counter(
+                    "fuzz_samples", circuit_class=sample.circuit_class
+                ).inc()
+            if (
+                len(routable) < 6
+                and len(sample.circuit) > 0
+                and sample.circuit.num_qubits <= sample.device.num_qubits
+            ):
+                routable.append(
+                    BenchmarkCircuit(sample.circuit, "random", sample.describe())
                 )
-            if out_dir is not None:
-                failure.artifacts = _dump_reproducer(Path(out_dir), failure)
-            failures.append(failure)
+            for outcome in check_sample(sample, bank):
+                stat = stats[outcome.invariant]
+                if telemetry_on:
+                    telemetry_metrics.counter(
+                        "fuzz_checks",
+                        invariant=outcome.invariant,
+                        status=outcome.status,
+                    ).inc()
+                if outcome.status == "ok":
+                    stat.ok += 1
+                    continue
+                if outcome.status == "skipped":
+                    stat.skipped += 1
+                    continue
+                stat.failed += 1
+                failure = _register_failure(
+                    seed, index, sample, outcome, by_name, shrink, out_dir
+                )
+                failures.append(failure)
 
     parallel_message = None
     if check_parallel and routable:
@@ -259,6 +262,32 @@ def run_fuzz(
         failures=failures,
         parallel_message=parallel_message,
     )
+
+
+def _register_failure(
+    seed, index, sample, outcome, by_name, shrink, out_dir
+) -> FuzzFailure:
+    """Build (and optionally shrink/dump) one invariant violation."""
+    if tracing.is_enabled():
+        telemetry_metrics.counter(
+            "fuzz_invariant_failures", invariant=outcome.invariant
+        ).inc()
+    failure = FuzzFailure(
+        seed=seed,
+        index=index,
+        invariant=outcome.invariant,
+        message=outcome.message,
+        circuit_class=sample.circuit_class,
+        topology_class=sample.topology_class,
+    )
+    if shrink:
+        failure.shrunk = shrink_sample(
+            sample,
+            _still_fails_predicate(by_name[outcome.invariant]),
+        )
+    if out_dir is not None:
+        failure.artifacts = _dump_reproducer(Path(out_dir), failure)
+    return failure
 
 
 # ---------------------------------------------------------------------------

@@ -2,23 +2,47 @@
 
 Maps every benchmark of a suite onto a device across worker processes
 and returns a :class:`SuiteRunReport`: the mapping records in suite
-order, per-circuit wall times, and captured per-circuit failures.
+order, per-circuit wall times (with a per-stage breakdown when
+telemetry is on), and captured per-circuit failures.
 
 Every circuit is mapped by a *pristine* pickled copy of the mapper, so
 results are independent of execution order and of the worker count —
 ``workers=1`` and ``workers=N`` produce byte-identical records.  (This
 differs from the legacy serial sweep only for stateful mappers, where
 the serial loop threads one RNG through all circuits.)
+
+Telemetry
+---------
+When :mod:`repro.telemetry` is enabled in the parent, each worker
+captures the spans and metrics of its payloads in isolation and ships
+them back with the mapping record.  The parent ingests every batch in
+suite order under one ``suite.run`` root span — so the merged span tree
+is identical for ``workers=1`` and ``workers=N`` (only durations and
+process ids differ) — and folds the worker metrics into its registry.
+With an export directory configured, workers additionally append their
+batches to per-worker JSONL shards under ``<dir>/workers/``, which
+:func:`repro.telemetry.merge.merge_worker_events` reorders into one
+deterministic ``merged.jsonl`` without dropping a single event.
 """
 
 from __future__ import annotations
 
-import time
+import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..compiler.mapper import QuantumMapper
 from ..hardware.device import Device
+from ..telemetry import capture as capture_telemetry
+from ..telemetry import get_registry, tracing
+from ..telemetry.clock import now
+from ..telemetry.merge import (
+    WORKER_DIR_NAME,
+    annotate_events,
+    append_worker_events,
+    merge_worker_events,
+)
+from ..telemetry.tracing import span
 from ..workloads.suite import BenchmarkCircuit
 from .parallel import parallel_map, workers_from_env
 
@@ -29,13 +53,29 @@ __all__ = [
     "run_suite_parallel",
 ]
 
+#: Mapper-stage span names mirrored into the per-circuit breakdown.
+_STAGE_SPANS = {
+    "map.decompose": "decompose",
+    "map.place": "place",
+    "map.route": "route",
+    "map.lower": "lower",
+    "map.schedule": "schedule",
+}
+
 
 @dataclass(frozen=True)
 class CircuitTiming:
-    """Wall time spent mapping one benchmark."""
+    """Wall time spent mapping one benchmark.
+
+    ``stages`` breaks the total down by mapping stage (``decompose`` /
+    ``place`` / ``route`` / ``lower`` / ``schedule``, seconds) when the
+    run was traced; it is empty when telemetry was off.  ``elapsed_s``
+    is unchanged from before the breakdown existed.
+    """
 
     name: str
     elapsed_s: float
+    stages: Mapping[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -57,7 +97,7 @@ class SuiteRunReport:
         Mapping records of the successful benchmarks, in suite order.
     timings:
         Per-benchmark wall times (successes and failures alike), in
-        suite order.
+        suite order, each with its per-stage breakdown when traced.
     failures:
         Benchmarks whose mapping raised; the rest of the suite is
         unaffected.
@@ -69,7 +109,7 @@ class SuiteRunReport:
         True when a worker process died and the lost circuits were
         recomputed serially in the parent.
     wall_time_s:
-        End-to-end wall time of the run.
+        End-to-end wall time of the run (monotonic clock).
     """
 
     records: List = field(default_factory=list)
@@ -85,13 +125,62 @@ class SuiteRunReport:
         """Sum of per-circuit times (CPU-side cost, ignores overlap)."""
         return sum(t.elapsed_s for t in self.timings)
 
+    def stage_totals(self) -> Dict[str, float]:
+        """Suite-wide seconds per mapping stage (empty when untraced)."""
+        totals: Dict[str, float] = {}
+        for timing in self.timings:
+            for stage, seconds in timing.stages.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
 
-def _map_payload(payload: Tuple[BenchmarkCircuit, Device, QuantumMapper]):
-    """Map one benchmark; module-level so worker processes can import it."""
+
+def _map_payload(
+    payload: Tuple[
+        BenchmarkCircuit, Device, QuantumMapper, Optional[dict]
+    ]
+):
+    """Map one benchmark; module-level so worker processes can import it.
+
+    The fourth payload element is the telemetry config (``None`` when
+    telemetry is off): ``{"index": suite position, "dir": shard
+    directory or None}``.  With telemetry on, the worker captures its
+    spans/metrics in isolation and returns them alongside the record
+    (and appends the annotated span batch to its per-pid shard file when
+    a directory is configured).
+    """
     from ..experiments.common import _record
 
-    benchmark, device, mapper = payload
-    return _record(benchmark, mapper.map(benchmark.circuit, device))
+    benchmark, device, mapper, tele = payload
+    if tele is None:
+        return _record(benchmark, mapper.map(benchmark.circuit, device)), None
+    with capture_telemetry(enabled=True) as captured:
+        with span(
+            "suite.circuit", circuit=benchmark.source, index=tele["index"]
+        ):
+            result = mapper.map(benchmark.circuit, device)
+            result.schedule()  # traced: completes the stage breakdown
+        record = _record(benchmark, result)
+    events = annotate_events(
+        [s.to_dict() for s in captured.spans], batch=tele["index"]
+    )
+    if tele.get("dir"):
+        append_worker_events(tele["dir"], events, worker_id=os.getpid())
+    return record, {
+        "events": events,
+        "metrics": captured.metrics_snapshot(),
+    }
+
+
+def _stage_breakdown(events: Sequence[dict]) -> Dict[str, float]:
+    """Seconds per mapping stage, summed over one circuit's span batch."""
+    stages: Dict[str, float] = {}
+    for event in events:
+        stage = _STAGE_SPANS.get(event["name"])
+        if stage is not None:
+            stages[stage] = stages.get(stage, 0.0) + (
+                event["end_s"] - event["start_s"]
+            )
+    return stages
 
 
 def run_suite_parallel(
@@ -118,7 +207,7 @@ def run_suite_parallel(
     mapper = mapper if mapper is not None else trivial_mapper()
     if workers is None:
         workers = workers_from_env()
-    start = time.perf_counter()
+    start = now()
     kept: List[BenchmarkCircuit] = []
     skipped: List[str] = []
     for benchmark in benchmarks:
@@ -127,26 +216,55 @@ def run_suite_parallel(
         else:
             kept.append(benchmark)
 
+    traced = tracing.is_enabled()
+    worker_dir: Optional[str] = None
+    if traced and tracing.get_export_dir() is not None:
+        worker_dir = str(tracing.get_export_dir() / WORKER_DIR_NAME)
+
+    def _tele_config(index: int) -> Optional[dict]:
+        if not traced:
+            return None
+        return {"index": index, "dir": worker_dir}
+
     def _progress(done: int, total: int) -> None:
         if progress is not None and done < total:
             progress(done, total, kept[done].source)
 
-    result = parallel_map(
-        _map_payload,
-        [(benchmark, device, mapper) for benchmark in kept],
-        workers=workers,
-        progress=_progress if progress is not None else None,
-    )
-    report = SuiteRunReport(
-        skipped=skipped, workers=result.workers, fell_back=result.fell_back
-    )
-    for benchmark, outcome in zip(kept, result.outcomes):
-        report.timings.append(CircuitTiming(benchmark.source, outcome.elapsed_s))
-        if outcome.ok:
-            report.records.append(outcome.value)
-        else:
-            report.failures.append(
-                CircuitFailure(benchmark.source, outcome.error, outcome.traceback)
+    report = SuiteRunReport(skipped=skipped)
+    with span("suite.run", circuits=len(kept)) as root:
+        result = parallel_map(
+            _map_payload,
+            [
+                (benchmark, device, mapper, _tele_config(index))
+                for index, benchmark in enumerate(kept)
+            ],
+            workers=workers,
+            progress=_progress if progress is not None else None,
+        )
+        root.set("workers", result.workers)
+        report.workers = result.workers
+        report.fell_back = result.fell_back
+        root_id = getattr(root, "span_id", None)
+        for benchmark, outcome in zip(kept, result.outcomes):
+            stages: Dict[str, float] = {}
+            if outcome.ok:
+                record, telemetry_payload = outcome.value
+                if telemetry_payload is not None:
+                    events = telemetry_payload["events"]
+                    stages = _stage_breakdown(events)
+                    tracing.ingest(events, parent_id=root_id)
+                    get_registry().merge_snapshot(telemetry_payload["metrics"])
+                report.records.append(record)
+            else:
+                report.failures.append(
+                    CircuitFailure(
+                        benchmark.source, outcome.error, outcome.traceback
+                    )
+                )
+            report.timings.append(
+                CircuitTiming(benchmark.source, outcome.elapsed_s, stages)
             )
-    report.wall_time_s = time.perf_counter() - start
+    if worker_dir is not None and os.path.isdir(worker_dir):
+        merge_worker_events(worker_dir)
+    report.wall_time_s = now() - start
     return report

@@ -16,6 +16,9 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..circuit import Circuit
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+from ..telemetry.tracing import span
 from .statevector import (
     Simulator,
     random_product_state,
@@ -148,6 +151,45 @@ def verify_mapping(
     bool
         True when every trial matches up to global phase.
     """
+    with span(
+        "oracle.verify",
+        trials=max(1, trials),
+        batched=batched,
+        qubits=mapped.num_qubits,
+    ) as sp:
+        verdict = _verify_mapping_impl(
+            original,
+            mapped,
+            initial_layout,
+            final_layout,
+            trials=trials,
+            seed=seed,
+            atol=atol,
+            batched=batched,
+        )
+        sp.set("verdict", verdict)
+    if tracing.is_enabled():
+        labels = {
+            "path": "batched" if batched else "serial",
+            "verdict": "pass" if verdict else "fail",
+        }
+        telemetry_metrics.counter("oracle_checks", **labels).inc()
+        telemetry_metrics.histogram(
+            "oracle_trials", buckets=(1, 2, 3, 5, 8, 13, 21), **labels
+        ).observe(max(1, trials))
+    return verdict
+
+
+def _verify_mapping_impl(
+    original: Circuit,
+    mapped: Circuit,
+    initial_layout: Dict[int, int],
+    final_layout: Dict[int, int],
+    trials: int,
+    seed: Optional[int],
+    atol: float,
+    batched: bool,
+) -> bool:
     num_virtual = original.num_qubits
     num_physical = mapped.num_qubits
     if num_physical < num_virtual:

@@ -1,0 +1,193 @@
+"""Telemetry exporters: JSONL events, Chrome traces, Prometheus text.
+
+Three on-disk views of the same run, written under
+``results/telemetry/`` by convention:
+
+* ``events.jsonl`` — one JSON object per finished span; the durable,
+  grep-able event log every other tool consumes.
+* ``trace.json`` — Chrome trace format (complete ``"ph": "X"`` events);
+  load it in ``chrome://tracing`` or https://ui.perfetto.dev to see the
+  suite run as a flame chart, one lane per process/thread.
+* ``metrics.prom`` — Prometheus text exposition of the metrics registry
+  snapshot; scrapeable, or just human-readable totals.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .clock import CLOCK_SOURCE
+from .metrics import MetricsRegistry
+from .tracing import SpanRecord
+
+__all__ = [
+    "EVENTS_FILENAME",
+    "TRACE_FILENAME",
+    "METRICS_FILENAME",
+    "span_events",
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "export_all",
+]
+
+EVENTS_FILENAME = "events.jsonl"
+TRACE_FILENAME = "trace.json"
+METRICS_FILENAME = "metrics.prom"
+
+SpanLike = Union[SpanRecord, dict]
+
+
+def span_events(spans: Sequence[SpanLike]) -> List[dict]:
+    """Normalise spans (records or already-serialised dicts) to dicts."""
+    return [
+        s.to_dict() if isinstance(s, SpanRecord) else dict(s) for s in spans
+    ]
+
+
+def write_jsonl(spans: Sequence[SpanLike], path: Union[str, Path]) -> Path:
+    """One span event per line; the canonical durable log."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for event in span_events(spans):
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL event log back into event dicts."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def write_chrome_trace(
+    spans: Sequence[SpanLike], path: Union[str, Path]
+) -> Path:
+    """Chrome trace format: complete events, microsecond timestamps.
+
+    Timestamps are the monotonic span clocks scaled to µs — absolute
+    values are arbitrary, but all spans of one run share the epoch, so
+    relative placement (the flame chart) is exact.
+    """
+    trace_events = []
+    for event in span_events(spans):
+        trace_events.append(
+            {
+                "name": event["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": event["start_s"] * 1e6,
+                "dur": (event["end_s"] - event["start_s"]) * 1e6,
+                "pid": event.get("process_id", 0),
+                "tid": event.get("thread_id", 0),
+                "args": event.get("attributes", {}),
+            }
+        )
+    payload = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": CLOCK_SOURCE},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{_NAME_RE.sub("_", k)}="{_escape_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as Prometheus text."""
+    lines: List[str] = []
+    for name, family in sorted(snapshot.items()):
+        kind = family["kind"]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} {kind}")
+        for entry in family["series"]:
+            labels = entry["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append(f"{prom}{_prom_labels(labels)} {entry['value']}")
+                continue
+            # Histogram: cumulative buckets plus _sum/_count.
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                le = 'le="%s"' % bound
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(labels, le)} {cumulative}"
+                )
+            cumulative += entry["counts"][-1]
+            le_inf = 'le="+Inf"'
+            lines.append(
+                f"{prom}_bucket{_prom_labels(labels, le_inf)} {cumulative}"
+            )
+            lines.append(f"{prom}_sum{_prom_labels(labels)} {entry['sum']}")
+            lines.append(f"{prom}_count{_prom_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    snapshot: Union[dict, MetricsRegistry], path: Union[str, Path]
+) -> Path:
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(snapshot))
+    return path
+
+
+def export_all(
+    directory: Union[str, Path],
+    spans: Sequence[SpanLike],
+    metrics: Union[dict, MetricsRegistry, None] = None,
+) -> Dict[str, Path]:
+    """Write all three exporter outputs under ``directory``.
+
+    Returns ``{"events": ..., "trace": ..., "metrics": ...}`` paths (the
+    metrics file is omitted when no registry/snapshot is given).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "events": write_jsonl(spans, directory / EVENTS_FILENAME),
+        "trace": write_chrome_trace(spans, directory / TRACE_FILENAME),
+    }
+    if metrics is not None:
+        paths["metrics"] = write_prometheus(
+            metrics, directory / METRICS_FILENAME
+        )
+    return paths

@@ -1,0 +1,129 @@
+"""Deterministic merging of per-worker telemetry shards.
+
+The suite runner fans circuits out over worker processes; each worker
+captures the spans of its payloads and (when an export directory is
+configured) appends them to its own shard file,
+``workers/worker-<pid>.jsonl``.  Which worker maps which circuit is
+nondeterministic, so the shards themselves vary run to run — but every
+event carries its payload coordinates (``batch`` = suite index of the
+circuit, ``seq`` = position within that payload's span batch), and
+merging sorts on exactly those.  The merged log is therefore identical
+for ``workers=1`` and ``workers=N`` up to durations/pids, and no event
+is ever dropped: the merge is a pure reorder of the shard union.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "WORKER_DIR_NAME",
+    "MERGED_FILENAME",
+    "annotate_events",
+    "append_worker_events",
+    "read_worker_events",
+    "merge_events",
+    "merge_worker_events",
+]
+
+#: Subdirectory of the telemetry export dir holding per-worker shards.
+WORKER_DIR_NAME = "workers"
+#: Filename of the merged, deterministic event log.
+MERGED_FILENAME = "merged.jsonl"
+
+
+def annotate_events(events: Sequence[dict], batch: int) -> List[dict]:
+    """Stamp payload coordinates onto a span batch.
+
+    ``batch`` is the payload's position in the suite (its circuit
+    index); ``seq`` is the span's position inside the batch.  Together
+    they form the deterministic sort key the merge uses.
+    """
+    annotated = []
+    for seq, event in enumerate(events):
+        event = dict(event)
+        event["batch"] = batch
+        event["seq"] = seq
+        annotated.append(event)
+    return annotated
+
+
+def append_worker_events(
+    directory: Union[str, Path], events: Sequence[dict], worker_id: int
+) -> Path:
+    """Append one payload's annotated events to that worker's shard.
+
+    Each worker process appends only to its own pid-named file, so no
+    cross-process file locking is needed.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"worker-{worker_id}.jsonl"
+    with path.open("a") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return path
+
+
+def read_worker_events(directory: Union[str, Path]) -> List[dict]:
+    """Union of all worker shards in a directory (unordered)."""
+    events: List[dict] = []
+    directory = Path(directory)
+    if not directory.is_dir():
+        return events
+    for path in sorted(directory.glob("worker-*.jsonl")):
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def merge_events(events: Sequence[dict]) -> List[dict]:
+    """Order a shard union deterministically and rebase span ids.
+
+    Events are sorted by ``(batch, seq)``; span ids are re-assigned in
+    that order with in-batch parent links preserved (a ``parent_id``
+    pointing outside its own batch becomes ``None`` — batches are
+    captured with fresh id spaces, so ids never alias across batches
+    within one ``(batch, seq)`` ordering).
+    """
+    ordered = sorted(events, key=lambda e: (e.get("batch", 0), e.get("seq", 0)))
+    merged: List[dict] = []
+    next_id = 0
+    mapping: Dict[tuple, int] = {}
+    for event in ordered:
+        key = (event.get("batch", 0), event["span_id"])
+        mapping[key] = next_id
+        next_id += 1
+    for event in ordered:
+        event = dict(event)
+        batch = event.get("batch", 0)
+        event["span_id"] = mapping[(batch, event["span_id"])]
+        parent = event.get("parent_id")
+        event["parent_id"] = (
+            mapping.get((batch, parent)) if parent is not None else None
+        )
+        merged.append(event)
+    return merged
+
+
+def merge_worker_events(
+    directory: Union[str, Path], output: Optional[Union[str, Path]] = None
+) -> Path:
+    """Merge every worker shard under ``directory`` into one JSONL log.
+
+    Writes ``directory/merged.jsonl`` (or ``output``) and returns its
+    path.  Lossless by construction: the merged file holds exactly the
+    union of the shard events, reordered and id-rebased.
+    """
+    directory = Path(directory)
+    merged = merge_events(read_worker_events(directory))
+    output = Path(output) if output is not None else directory / MERGED_FILENAME
+    output.parent.mkdir(parents=True, exist_ok=True)
+    with output.open("w") as handle:
+        for event in merged:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    return output

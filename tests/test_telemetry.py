@@ -1,0 +1,287 @@
+"""Unit tests for the telemetry core: spans, metrics, exporters, merge."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import export, merge, metrics, tracing
+from repro.telemetry.clock import CLOCK_SOURCE
+from repro.telemetry.tracing import _NOOP_SPAN, span, traced
+
+
+class TestSpans:
+    def test_nesting_and_attributes(self):
+        with tracing.capture() as spans:
+            with span("outer", kind="test") as outer:
+                with span("inner"):
+                    pass
+                outer.set("late", 7)
+        by_name = {s.name: s for s in spans}
+        assert set(by_name) == {"outer", "inner"}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].attributes == {"kind": "test", "late": 7}
+        # Children finish before parents, so the buffer is inner-first.
+        assert [s.name for s in spans] == ["inner", "outer"]
+
+    def test_monotonic_durations(self):
+        with tracing.capture() as spans:
+            with span("timed"):
+                sum(range(1000))
+        (record,) = spans
+        assert record.end_s >= record.start_s
+        assert record.duration_s == record.end_s - record.start_s
+
+    def test_exception_stamps_error_attribute(self):
+        with tracing.capture() as spans:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        assert spans[0].attributes["error"] == "ValueError"
+
+    def test_traced_decorator_named_and_bare(self):
+        @traced("custom.name", fixed=1)
+        def named():
+            return 42
+
+        @traced
+        def bare():
+            return 7
+
+        with tracing.capture() as spans:
+            assert named() == 42
+            assert bare() == 7
+        assert [s.name for s in spans] == ["custom.name", bare.__qualname__]
+        assert spans[0].attributes == {"fixed": 1}
+
+    def test_disabled_returns_shared_noop_and_records_nothing(self):
+        assert not tracing.is_enabled()  # off by default
+        handle = span("anything", qubits=3)
+        assert handle is _NOOP_SPAN
+        assert span("other") is handle  # one shared object, no allocation
+        with tracing.capture(enabled=False) as spans:
+            with span("invisible") as sp:
+                sp.set("key", "value")
+        assert spans == []
+
+    def test_capture_isolates_and_restores(self):
+        with tracing.capture() as outer:
+            with span("outer.span"):
+                pass
+            with tracing.capture() as inner:
+                with span("inner.span"):
+                    pass
+            # Inner capture neither sees nor leaks outer spans...
+            assert [s.name for s in inner] == ["inner.span"]
+            # ...and id allocation restarted from zero inside it.
+            assert inner[0].span_id == 0
+        assert [s.name for s in outer] == ["outer.span"]
+        assert not tracing.is_enabled()
+
+    def test_ingest_rebases_ids_under_parent(self):
+        with tracing.capture() as batch:
+            with span("root"):
+                with span("child"):
+                    pass
+        events = [s.to_dict() for s in batch]
+        with tracing.capture() as spans:
+            with span("host") as host:
+                ingested = tracing.ingest(events, parent_id=host.span_id)
+        assert [s.name for s in ingested] == ["child", "root"]
+        by_name = {s.name: s for s in spans}
+        # The batch root hangs off the host; in-batch links are remapped.
+        assert by_name["root"].parent_id == by_name["host"].span_id
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        ids = [s.span_id for s in spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_ingest_disabled_is_noop(self):
+        with tracing.capture() as batch:
+            with span("orphan"):
+                pass
+        events = [s.to_dict() for s in batch]
+        with tracing.capture(enabled=False) as spans:
+            assert tracing.ingest(events) == []
+        assert spans == []
+
+    def test_record_round_trips_through_dict(self):
+        with tracing.capture() as spans:
+            with span("round.trip", qubits=5):
+                pass
+        record = spans[0]
+        clone = tracing.SpanRecord.from_dict(
+            json.loads(json.dumps(record.to_dict()))
+        )
+        assert clone == record
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(5)
+        histogram = registry.histogram("sizes", buckets=(1, 10))
+        histogram.observe(0.5)
+        histogram.observe(7)
+        histogram.observe(99)
+        snap = registry.snapshot()
+        assert snap["hits"]["series"][0]["value"] == 3
+        assert snap["depth"]["series"][0]["value"] == 5
+        assert snap["sizes"]["series"][0]["counts"] == [1, 1, 1]
+        assert snap["sizes"]["series"][0]["count"] == 3
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            metrics.MetricsRegistry().counter("down").inc(-1)
+
+    def test_labelled_series_are_distinct(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("swaps", router="sabre").inc(4)
+        registry.counter("swaps", router="trivial").inc(1)
+        series = registry.snapshot()["swaps"]["series"]
+        assert [(s["labels"], s["value"]) for s in series] == [
+            ({"router": "sabre"}, 4),
+            ({"router": "trivial"}, 1),
+        ]
+
+    def test_kind_conflict_raises(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_merge_snapshot_accumulates(self):
+        a, b = metrics.MetricsRegistry(), metrics.MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.histogram("h", buckets=(1, 2)).observe(1)
+        b.histogram("h", buckets=(1, 2)).observe(2)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["n"]["series"][0]["value"] == 5  # counters add
+        assert snap["g"]["series"][0]["value"] == 9  # gauges: last write
+        assert snap["h"]["series"][0]["counts"] == [1, 1, 0]
+
+    def test_module_helpers_gated_on_switch(self):
+        assert metrics.counter("off.counter") is metrics._NOOP_METRIC
+        assert metrics.gauge("off.gauge") is metrics._NOOP_METRIC
+        assert metrics.histogram("off.histogram") is metrics._NOOP_METRIC
+        with telemetry.capture() as captured:
+            metrics.counter("on.counter").inc()
+        assert captured.metrics_snapshot()["on.counter"]["series"][0][
+            "value"
+        ] == 1
+        # The capture registry swapped out: nothing leaked to the default.
+        assert "on.counter" not in metrics.get_registry().snapshot()
+
+
+class TestExporters:
+    def _spans(self):
+        with tracing.capture() as spans:
+            with span("export.root", qubits=2):
+                with span("export.child"):
+                    pass
+        return spans
+
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = self._spans()
+        path = export.write_jsonl(spans, tmp_path / "events.jsonl")
+        events = export.read_jsonl(path)
+        assert [e["name"] for e in events] == [s.name for s in spans]
+        assert all(e["type"] == "span" for e in events)
+
+    def test_chrome_trace_format(self, tmp_path):
+        spans = self._spans()
+        path = export.write_chrome_trace(spans, tmp_path / "trace.json")
+        trace = json.loads(path.read_text())
+        assert len(trace["traceEvents"]) == len(spans)
+        event = trace["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert trace["otherData"]["clock"] == CLOCK_SOURCE
+
+    def test_prometheus_text(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("route_runs", router="sabre").inc(3)
+        registry.histogram("swaps", buckets=(1, 2)).observe(2)
+        text = export.prometheus_text(registry.snapshot())
+        assert '# TYPE repro_route_runs counter' in text
+        assert 'repro_route_runs{router="sabre"} 3' in text
+        # Histogram buckets are cumulative and end with +Inf/_sum/_count.
+        assert 'repro_swaps_bucket{le="1.0"} 0' in text
+        assert 'repro_swaps_bucket{le="2.0"} 1' in text
+        assert 'repro_swaps_bucket{le="+Inf"} 1' in text
+        assert "repro_swaps_sum 2.0" in text
+        assert "repro_swaps_count 1" in text
+
+    def test_export_all_writes_three_files(self, tmp_path):
+        registry = metrics.MetricsRegistry()
+        registry.counter("c").inc()
+        paths = export.export_all(tmp_path, self._spans(), registry)
+        assert set(paths) == {"events", "trace", "metrics"}
+        for path in paths.values():
+            assert path.is_file()
+
+
+class TestMerge:
+    def _batch(self, batch):
+        with tracing.capture() as spans:
+            with span(f"circuit.{batch}"):
+                with span("stage"):
+                    pass
+        return merge.annotate_events(
+            [s.to_dict() for s in spans], batch=batch
+        )
+
+    def test_merge_is_lossless_and_ordered(self, tmp_path):
+        # Two workers, interleaved batches — exactly the suite shape.
+        merge.append_worker_events(tmp_path, self._batch(1), worker_id=111)
+        merge.append_worker_events(tmp_path, self._batch(0), worker_id=222)
+        merge.append_worker_events(tmp_path, self._batch(2), worker_id=111)
+        output = merge.merge_worker_events(tmp_path)
+        merged = export.read_jsonl(output)
+        assert len(merged) == 6  # nothing dropped
+        assert [e["batch"] for e in merged] == [0, 0, 1, 1, 2, 2]
+        # Ids rebased globally, in-batch parent links preserved.
+        assert [e["span_id"] for e in merged] == list(range(6))
+        for stage in (e for e in merged if e["name"] == "stage"):
+            parent = next(
+                e
+                for e in merged
+                if e["span_id"] == stage["parent_id"]
+            )
+            assert parent["batch"] == stage["batch"]
+
+    def test_merge_independent_of_worker_assignment(self, tmp_path):
+        batches = [self._batch(i) for i in range(3)]
+        one = tmp_path / "one"
+        many = tmp_path / "many"
+        for batch in batches:
+            merge.append_worker_events(one, batch, worker_id=1)
+        merge.append_worker_events(many, batches[2], worker_id=5)
+        merge.append_worker_events(many, batches[0], worker_id=6)
+        merge.append_worker_events(many, batches[1], worker_id=5)
+        assert (
+            merge.merge_worker_events(one).read_text()
+            == merge.merge_worker_events(many).read_text()
+        )
+
+
+class TestSession:
+    def test_session_exports_and_publishes_dir(self, tmp_path):
+        with telemetry.session(export_dir=tmp_path / "tele") as tele:
+            assert tracing.get_export_dir() == tmp_path / "tele"
+            with span("session.span"):
+                metrics.counter("session_counter").inc()
+        assert tracing.get_export_dir() is None
+        assert set(tele.paths) == {"events", "trace", "metrics"}
+        events = export.read_jsonl(tele.paths["events"])
+        assert [e["name"] for e in events] == ["session.span"]
+        assert "repro_session_counter" in tele.paths["metrics"].read_text()
+
+    def test_clock_source_is_monotonic(self):
+        assert CLOCK_SOURCE == "time.perf_counter"

@@ -1,0 +1,156 @@
+"""Suite-runner telemetry: worker-count-independent trees, lossless shards.
+
+The contract under test: running the same suite with ``workers=1`` and
+``workers=4`` produces the *same* span tree after the parent merge —
+same names, same parent paths, same deterministic attributes and the
+same metric totals; only durations, timestamps and process/thread ids
+may differ — and the per-worker JSONL shards merge into one event log
+without losing a single event.
+"""
+
+from repro import telemetry
+from repro.compiler import sabre_mapper
+from repro.hardware import surface17_device
+from repro.runtime import run_suite_parallel
+from repro.telemetry import export, tracing
+from repro.telemetry.merge import MERGED_FILENAME, WORKER_DIR_NAME
+from repro.workloads import small_suite
+
+#: suite.run carries the worker count; everything else is deterministic.
+_VOLATILE_ATTRS = {"workers"}
+
+
+def _suite():
+    return small_suite(num_circuits=6, seed=7)
+
+
+def _traced_run(workers, export_dir=None):
+    with telemetry.session(export_dir=export_dir) as tele:
+        report = run_suite_parallel(
+            _suite(),
+            device=surface17_device(),
+            mapper=sabre_mapper(seed=3),
+            workers=workers,
+        )
+    return report, tele
+
+
+def _tree(spans):
+    """Comparable view: (path-to-root, stable attrs) per span, sorted."""
+    by_id = {s.span_id: s for s in spans}
+    shapes = []
+    for record in spans:
+        path = [record.name]
+        parent = record.parent_id
+        while parent is not None:
+            path.append(by_id[parent].name)
+            parent = by_id[parent].parent_id
+        attrs = tuple(
+            sorted(
+                (k, v)
+                for k, v in record.attributes.items()
+                if k not in _VOLATILE_ATTRS
+            )
+        )
+        shapes.append(("/".join(reversed(path)), attrs))
+    return sorted(shapes)
+
+
+class TestWorkerCountIndependence:
+    def test_same_span_tree_and_metrics_for_1_and_4_workers(self):
+        report1, tele1 = _traced_run(workers=1)
+        report4, tele4 = _traced_run(workers=4)
+        assert report1.records == report4.records
+        assert _tree(tele1.spans) == _tree(tele4.spans)
+        # Durations are real measurements, not copies of each other.
+        assert all(s.end_s >= s.start_s for s in tele4.spans)
+        # Counter/histogram totals match exactly: same work was traced.
+        assert tele1.metrics_snapshot() == tele4.metrics_snapshot()
+
+    def test_stage_breakdown_per_circuit(self):
+        report, _ = _traced_run(workers=2)
+        assert report.wall_time_s > 0.0
+        expected = {"decompose", "place", "route", "lower", "schedule"}
+        for timing in report.timings:
+            assert set(timing.stages) == expected
+            assert all(s >= 0.0 for s in timing.stages.values())
+            assert timing.elapsed_s >= 0.0
+        totals = report.stage_totals()
+        assert set(totals) == expected
+
+    def test_untraced_run_has_no_stages_and_no_spans(self):
+        with telemetry.capture(enabled=False) as captured:
+            report = run_suite_parallel(
+                _suite(),
+                device=surface17_device(),
+                mapper=sabre_mapper(seed=3),
+                workers=2,
+            )
+        assert captured.spans == []
+        assert captured.metrics_snapshot() == {}
+        assert report.wall_time_s > 0.0  # timing survives without tracing
+        assert all(timing.stages == {} for timing in report.timings)
+        assert report.stage_totals() == {}
+
+
+class TestWorkerShards:
+    def test_shards_merge_without_loss(self, tmp_path):
+        report, tele = _traced_run(workers=4, export_dir=tmp_path)
+        worker_dir = tmp_path / WORKER_DIR_NAME
+        shards = sorted(worker_dir.glob("worker-*.jsonl"))
+        assert shards  # at least one worker wrote a shard
+        shard_union = [
+            event for path in shards for event in export.read_jsonl(path)
+        ]
+        merged = export.read_jsonl(worker_dir / MERGED_FILENAME)
+        # Lossless: the merge is a pure reorder of the shard union.
+        assert len(merged) == len(shard_union)
+        assert sorted(
+            (e["batch"], e["seq"], e["name"]) for e in merged
+        ) == sorted((e["batch"], e["seq"], e["name"]) for e in shard_union)
+        # Deterministically ordered by suite position.
+        assert [
+            (e["batch"], e["seq"]) for e in merged
+        ] == sorted((e["batch"], e["seq"]) for e in merged)
+        # Every mapped circuit contributed a batch.
+        assert {e["batch"] for e in merged} == set(range(len(report.records)))
+
+    def test_merged_log_independent_of_worker_count(self, tmp_path):
+        _, tele1 = _traced_run(workers=1, export_dir=tmp_path / "w1")
+        _, tele4 = _traced_run(workers=4, export_dir=tmp_path / "w4")
+
+        def stable(path):
+            return [
+                {
+                    k: v
+                    for k, v in event.items()
+                    if k
+                    not in (
+                        "start_s",
+                        "end_s",
+                        "duration_s",
+                        "process_id",
+                        "thread_id",
+                    )
+                }
+                for event in export.read_jsonl(path)
+            ]
+
+        assert stable(
+            tmp_path / "w1" / WORKER_DIR_NAME / MERGED_FILENAME
+        ) == stable(tmp_path / "w4" / WORKER_DIR_NAME / MERGED_FILENAME)
+
+    def test_parent_events_cover_suite_spans(self, tmp_path):
+        _, tele = _traced_run(workers=2, export_dir=tmp_path)
+        names = {e["name"] for e in export.read_jsonl(tele.paths["events"])}
+        assert {
+            "suite.run",
+            "suite.circuit",
+            "map.run",
+            "map.decompose",
+            "map.place",
+            "map.route",
+            "map.lower",
+            "map.schedule",
+            "route.sabre",
+        } <= names
