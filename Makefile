@@ -42,6 +42,14 @@ fuzz-smoke:
 trace-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_telemetry_overhead.py
 
+# Resilience smoke gate: a 20-circuit suite with an injected worker
+# SIGKILL and a deadline-expiry fault must still produce a complete,
+# annotated report in <10s; then the recovery drill proves every fault
+# class (raise/sleep/kill/crash) hits its recovery path, including a
+# byte-identical journal resume.
+resilience-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_resilience.py
+
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:
 	PYTHONPATH=src $(PY) -m pytest benchmarks -q

@@ -1,0 +1,143 @@
+"""Resilience-smoke gate: fault-injected suite runs stay complete.
+
+Three checks against the fault-tolerant execution layer in
+``repro.resilience``:
+
+1. **Faulted suite** — maps a 20-circuit suite with an injected worker
+   SIGKILL and a sleep-past-deadline fault; the run must still produce a
+   record for *every* circuit, each annotated with its attempt count and
+   the router that finally produced it, and the whole thing must finish
+   inside ``TIME_LIMIT_S``.
+2. **No-op guarantee** — the same suite with every resilience knob at
+   its default must produce records byte-identical to a resilient run
+   that never trips (deadlines, annotations and journaling cost nothing
+   when nothing fails).
+3. **Recovery drill** — :func:`repro.resilience.fault_recovery_selftest`
+   injects one fault of every class (transient raise, deadline expiry,
+   worker kill, parent crash with a torn journal tail) and asserts every
+   recovery path fired, including a byte-identical ``resume``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+
+Exits non-zero on any failure; this is what ``make resilience-smoke``
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import time
+
+from repro.compiler.mapper import sabre_mapper
+from repro.hardware import surface17_device
+from repro.resilience import FaultPlan, fault_recovery_selftest
+from repro.runtime import run_suite_parallel
+from repro.workloads import small_suite
+
+#: Circuits in the faulted sweep (the ISSUE's smoke-gate size).
+SMOKE_CIRCUITS = 20
+
+#: Wall-clock budget for the faulted sweep.
+TIME_LIMIT_S = 10.0
+
+#: Injected faults: a SIGKILLed worker and a deadline-expiry sleep.
+SMOKE_PLAN = "kill@3,sleep@7"
+
+#: Per-attempt routing budget for the faulted sweep.
+SMOKE_DEADLINE_S = 0.5
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"resilience-smoke FAILED: {message}")
+
+
+def _faulted_sweep(workers: int) -> None:
+    suite = small_suite(SMOKE_CIRCUITS)
+    device = surface17_device()
+    plan = FaultPlan.parse(SMOKE_PLAN)
+    start = time.perf_counter()
+    report = run_suite_parallel(
+        suite,
+        device,
+        sabre_mapper(),
+        workers=workers,
+        deadline_s=SMOKE_DEADLINE_S,
+        faults=plan,
+    )
+    elapsed = time.perf_counter() - start
+    if len(report.records) != len(suite) or report.failures:
+        _fail(
+            f"faulted sweep lost circuits: {len(report.records)}/"
+            f"{len(suite)} records, {len(report.failures)} failures"
+        )
+    if len(report.resilience) != len(suite):
+        _fail(
+            f"only {len(report.resilience)}/{len(suite)} circuits "
+            "carry resilience annotations"
+        )
+    unannotated = [
+        r.name for r in report.resilience if r.attempts < 1 or not r.router
+    ]
+    if unannotated:
+        _fail(f"missing attempt/router annotations: {unannotated}")
+    killed = report.resilience[3]
+    if killed.attempts < 2:
+        _fail(
+            f"SIGKILLed circuit was not recomputed "
+            f"(attempts={killed.attempts})"
+        )
+    slept = report.resilience[7]
+    if not slept.deadline_expired:
+        _fail("sleep fault did not expire the deadline")
+    if elapsed > TIME_LIMIT_S:
+        _fail(
+            f"faulted sweep took {elapsed:.2f}s "
+            f"(limit {TIME_LIMIT_S:.0f}s)"
+        )
+    degraded = ", ".join(report.degraded) or "none"
+    print(
+        f"faulted sweep ok: {len(report.records)}/{len(suite)} records in "
+        f"{elapsed:.2f}s (workers={report.workers}, "
+        f"attempts={report.total_mapping_attempts}, degraded: {degraded})"
+    )
+
+    # No-op guarantee: the legacy path and an untripped resilient run
+    # agree byte-for-byte on every record.
+    legacy = run_suite_parallel(suite, device, sabre_mapper(), workers=workers)
+    clean = run_suite_parallel(
+        suite, device, sabre_mapper(), workers=workers, deadline_s=60.0
+    )
+    if pickle.dumps(legacy.records) != pickle.dumps(clean.records):
+        _fail("resilient path changed records with no fault tripped")
+    print(
+        f"no-op guarantee ok: {len(legacy.records)} records byte-identical "
+        "with and without the resilience layer"
+    )
+
+
+def _recovery_drill(workers: int) -> None:
+    checked = fault_recovery_selftest(workers=workers)
+    for line in checked:
+        print(f"  recovery ok: {line}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for the faulted sweep (default 2)",
+    )
+    args = parser.parse_args(argv)
+    _faulted_sweep(args.workers)
+    _recovery_drill(args.workers)
+    print("resilience-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

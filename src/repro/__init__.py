@@ -74,6 +74,14 @@ from .metrics import (
 )
 from .workloads import evaluation_suite, small_suite
 from .runtime import SuiteRunReport, parallel_map, run_suite_parallel
+from .resilience import (
+    Deadline,
+    DeadlineExceeded,
+    FaultPlan,
+    RetryPolicy,
+    SuiteJournal,
+    map_with_resilience,
+)
 from .fullstack import ControlModel, FullStack
 from .sim import Simulator, statevector, verify_mapping
 from . import telemetry
@@ -132,6 +140,12 @@ __all__ = [
     "SuiteRunReport",
     "parallel_map",
     "run_suite_parallel",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "RetryPolicy",
+    "SuiteJournal",
+    "map_with_resilience",
     "ControlModel",
     "FullStack",
     "Simulator",

@@ -7,8 +7,9 @@ The subcommands mirror the library's main workflows::
     repro trace    <circuit.qasm>           # traced mapping -> telemetry files
     repro metrics  [results/telemetry]      # inspect an exported telemetry dir
     repro suite    <directory> --num 20     # generate a QASM benchmark corpus
+    repro run      <directory> --journal j.jsonl [--resume]  # fault-tolerant run
     repro reproduce [--full]                # regenerate the paper's figures
-    repro fuzz     --samples 200            # differential fuzz the mapping stack
+    repro fuzz     --samples 200 [--faults] # differential fuzz the mapping stack
 
 Every subcommand is also reachable as ``python -m repro.cli ...``.
 """
@@ -252,6 +253,76 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .resilience import FaultPlan
+    from .runtime import run_suite_parallel
+    from .workloads import load_suite
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal")
+    suite = load_suite(args.corpus)
+    device = _resolve_device(args.device)
+    mapper = _MAPPERS[args.mapper]()
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+    policy = None
+    if args.retries is not None:
+        from .resilience import RetryPolicy
+
+        policy = RetryPolicy(attempts=args.retries + 1)
+    print(
+        f"mapping {len(suite)} circuits from {args.corpus} onto "
+        f"{device.name} with {args.mapper} ...",
+        file=sys.stderr,
+    )
+    report = run_suite_parallel(
+        suite,
+        device,
+        mapper,
+        workers=args.workers,
+        deadline_s=args.deadline_s,
+        policy=policy,
+        degrade=not args.no_degrade,
+        faults=faults,
+        journal=args.journal,
+        resume=args.resume,
+        item_timeout_s=args.item_timeout_s,
+    )
+    total = len(report.records) + len(report.failures)
+    print(
+        f"mapped {len(report.records)}/{total} circuits "
+        f"(workers={report.workers}, {report.wall_time_s:.2f}s)"
+    )
+    if report.journal_path:
+        print(f"journal:   {report.journal_path}")
+    if report.resumed:
+        print(f"resumed:   {report.resumed} circuits from the journal")
+    if report.skipped:
+        print(f"skipped:   {len(report.skipped)} wider than the device")
+    if report.resilience:
+        retries = sum(r.retries for r in report.resilience)
+        expiries = sum(1 for r in report.resilience if r.deadline_expired)
+        print(
+            f"attempts:  {report.total_mapping_attempts} "
+            f"({retries} retries, {expiries} deadline expiries)"
+        )
+        for name in report.degraded:
+            annotated = next(
+                r for r in report.resilience if r.name == name
+            )
+            print(
+                f"degraded:  {name}: {' -> '.join(annotated.steps)} "
+                f"(final router {annotated.router or 'none'})"
+            )
+    if report.recomputed:
+        print(
+            f"recovered: {report.recomputed} circuits recomputed after "
+            "worker loss"
+        )
+    for failure in report.failures:
+        print(f"FAILED:    {failure.name}: {failure.error}")
+    return 1 if report.failures else 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import planted_bug_selftest, run_fuzz
 
@@ -259,6 +330,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("self-test: planting an off-by-one in the incremental router ...")
         planted_bug_selftest()
         print("self-test: planted bug found and shrunk — harness is live")
+    if args.faults:
+        from .resilience import fault_recovery_selftest
+
+        print(
+            "fault drill: injecting raise / sleep-past-deadline / worker "
+            "kill / parent crash ..."
+        )
+        for line in fault_recovery_selftest():
+            print(f"  ok: {line}")
+        print("fault drill: every recovery path fired")
     report = run_fuzz(
         seed=args.seed,
         samples=args.samples,
@@ -448,7 +529,76 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip delta-debugging of failing samples",
     )
+    fuzz.add_argument(
+        "--faults",
+        action="store_true",
+        help="also drill the resilience layer: inject one fault of every "
+        "class and assert each recovery path fires",
+    )
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    run = commands.add_parser(
+        "run",
+        help="fault-tolerant mapping run over a QASM corpus "
+        "(deadlines, retries, crash-safe journal, resume)",
+    )
+    run.add_argument("corpus", help="directory written by 'repro suite'")
+    run.add_argument(
+        "--device",
+        default="surface17",
+        help="surface7|surface17|surface100|surface:N|line:N|grid:RxC",
+    )
+    run.add_argument("--mapper", default="sabre", choices=sorted(_MAPPERS))
+    run.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock budget; expiry degrades the circuit "
+        "down the fallback chain instead of failing it",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per degradation step (seeded deterministic backoff)",
+    )
+    run.add_argument(
+        "--journal",
+        default=None,
+        help="crash-safe JSONL journal path (atomic append per circuit)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip circuits already in --journal; byte-identical results",
+    )
+    run.add_argument(
+        "--faults",
+        default=None,
+        help="inject a fault plan, e.g. 'raise@1,sleep@2,kill@3' "
+        "(testing/drills)",
+    )
+    run.add_argument(
+        "--item-timeout-s",
+        type=float,
+        default=None,
+        help="hard per-circuit bound: kill unresponsive workers and "
+        "recompute in the parent",
+    )
+    run.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable the fallback chain (retry the primary mapper only)",
+    )
+    run.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        help="map circuits across N worker processes "
+        "(default: REPRO_WORKERS or CPU count)",
+    )
+    run.set_defaults(handler=_cmd_run)
 
     report = commands.add_parser(
         "report", help="map a QASM corpus and write a markdown report"

@@ -51,7 +51,7 @@ class ExactRouter(Router):
 
     # ------------------------------------------------------------------
     def _route(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self, circuit: Circuit, device: Device, layout: Layout, deadline=None
     ) -> RoutingResult:
         self._validate(circuit, device, layout)
         coupling = device.coupling
@@ -108,6 +108,8 @@ class ExactRouter(Router):
             if pointer >= len(gates):
                 return self._emit(gates, layout, path, device)
             explored += 1
+            if deadline is not None and explored % 64 == 0:
+                deadline.check("route.exact")
             if explored > self.max_states:
                 raise RoutingError(
                     f"exact routing exceeded {self.max_states} states; "

@@ -194,13 +194,21 @@ class QuantumMapper:
         self.optimize_output = optimize_output
         self.name = name or f"{placement.name}+{router.name}"
 
-    def map(self, circuit: Circuit, device: Device) -> MappingResult:
+    def map(
+        self, circuit: Circuit, device: Device, deadline=None
+    ) -> MappingResult:
         """Map ``circuit`` onto ``device``; see :class:`MappingResult`.
 
         With telemetry enabled, the run is one ``map.run`` span with a
         child per mapping stage (``map.decompose`` / ``map.place`` /
         ``map.route`` / ``map.lower``); disabled telemetry adds nothing
         and changes nothing.
+
+        ``deadline`` (a :class:`repro.resilience.deadline.Deadline`) is
+        threaded into :meth:`Router.route`, which checks it on entry and
+        inside its search loop; an expired budget raises
+        ``DeadlineExceeded`` for the resilience engine to catch.  The
+        default ``None`` is a strict no-op.
         """
         with span(
             "map.run",
@@ -217,7 +225,7 @@ class QuantumMapper:
                 layout = self.placement.place(decomposed, device)
             with span("map.route", router=self.router.name):
                 routing: RoutingResult = self.router.route(
-                    decomposed, device, layout
+                    decomposed, device, layout, deadline=deadline
                 )
             with span("map.lower"):
                 mapped = decompose_circuit(routing.circuit, device.gate_set)

@@ -174,19 +174,37 @@ class Router:
     swap/bridge counters labelled by router).  With telemetry disabled
     the wrapper is a plain delegation — no spans, no counters, no
     behavioural difference, which the no-op regression tests pin.
+
+    ``deadline`` (a :class:`repro.resilience.deadline.Deadline`) bounds
+    the routing work cooperatively: the wrapper checks it once on entry
+    and the concrete routers re-check it inside their search loops (once
+    per SABRE swap round / per trivial SWAP chain / per exact-search
+    expansion), raising ``DeadlineExceeded`` instead of stalling.  With
+    ``deadline=None`` — the default — no check site executes and
+    legacy three-argument ``_route`` overrides keep working unchanged.
     """
 
     name = "router"
 
     def route(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self,
+        circuit: Circuit,
+        device: Device,
+        layout: Layout,
+        deadline=None,
     ) -> RoutingResult:
+        if deadline is not None:
+            deadline.check(f"route.{self.name}")
         with span(
             f"route.{self.name}",
             qubits=circuit.num_qubits,
             gates=circuit.num_gates,
         ) as sp:
-            result = self._route(circuit, device, layout)
+            result = (
+                self._route(circuit, device, layout)
+                if deadline is None
+                else self._route(circuit, device, layout, deadline=deadline)
+            )
             sp.set("swap_count", result.swap_count)
             sp.set("bridge_count", result.bridge_count)
         if tracing.is_enabled():
@@ -204,7 +222,7 @@ class Router:
         return result
 
     def _route(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self, circuit: Circuit, device: Device, layout: Layout, deadline=None
     ) -> RoutingResult:
         raise NotImplementedError
 
@@ -255,7 +273,7 @@ class TrivialRouter(Router):
         self.use_bridge = use_bridge
 
     def _route(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self, circuit: Circuit, device: Device, layout: Layout, deadline=None
     ) -> RoutingResult:
         self._validate(circuit, device, layout)
         coupling = device.coupling
@@ -281,6 +299,8 @@ class TrivialRouter(Router):
                 bridge_count += 1
                 continue
             if not coupling.are_adjacent(pa, pb):
+                if deadline is not None:
+                    deadline.check("route.trivial")
                 path = coupling.shortest_path(pa, pb)
                 for i in range(len(path) - 2):
                     out.append(Gate("swap", (path[i], path[i + 1])))
@@ -404,10 +424,10 @@ class SabreRouter(Router):
 
     # ---------------------------------------------------------------------
     def _route(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self, circuit: Circuit, device: Device, layout: Layout, deadline=None
     ) -> RoutingResult:
         if not self.incremental:
-            return self._route_legacy(circuit, device, layout)
+            return self._route_legacy(circuit, device, layout, deadline)
         self._validate(circuit, device, layout)
         coupling = device.coupling
         dist = self._distance_matrix(device)
@@ -470,6 +490,11 @@ class SabreRouter(Router):
                 front_gates = None
             if frontier.exhausted:
                 break
+            if deadline is not None:
+                # Cooperative checkpoint: once per blocked swap round, so
+                # an expired budget surfaces mid-search instead of after
+                # the full SABRE walk.
+                deadline.check("route.sabre")
             if front_gates is None:
                 front_gates = [gates[n] for n in frontier.ready if is_2q[n]]
                 extended = self._extended_set(dag, frontier, is_2q, gates)
@@ -539,7 +564,7 @@ class SabreRouter(Router):
     # a half-optimised hybrid.
     # ---------------------------------------------------------------------
     def _route_legacy(
-        self, circuit: Circuit, device: Device, layout: Layout
+        self, circuit: Circuit, device: Device, layout: Layout, deadline=None
     ) -> RoutingResult:
         self._validate(circuit, device, layout)
         coupling = device.coupling
@@ -586,6 +611,8 @@ class SabreRouter(Router):
                 rounds_since_progress = 0
             if frontier.exhausted:
                 break
+            if deadline is not None:
+                deadline.check("route.sabre")
             front_gates = [
                 dag.gate(n) for n in frontier.ready if dag.gate(n).is_two_qubit
             ]

@@ -1,0 +1,58 @@
+"""Fault-tolerant execution layer.
+
+The paper's evaluation is a 200-circuit compile-and-count sweep; at
+production scale a single hung SABRE search, OOM-killed worker or
+mid-run crash must not cost the whole suite or corrupt results on disk.
+This package supplies the four pieces the runtime threads through the
+stack (see ``docs/resilience.md`` for the full contract):
+
+* :mod:`~repro.resilience.deadline` — cooperative per-attempt wall-clock
+  budgets, checked inside the routers' hot loops.
+* :mod:`~repro.resilience.policy` — bounded retries with seeded
+  deterministic exponential backoff, plus the declared degradation
+  chain (``sabre -> sabre(reduced) -> trivial``).
+* :mod:`~repro.resilience.journal` — a crash-safe append-only JSONL
+  journal (atomic tmp-file+rename) that lets ``run_suite_parallel``
+  resume a killed run byte-identically.
+* :mod:`~repro.resilience.faults` — seeded deterministic fault plans
+  (raise / sleep-past-deadline / hang / worker SIGKILL / parent crash /
+  corrupt-journal-tail) so tests and ``repro fuzz --faults`` can prove
+  every recovery path actually fires.
+
+:func:`~repro.resilience.engine.map_with_resilience` is the per-circuit
+engine combining the first two; the suite runner invokes it inside each
+worker when any resilience knob is set, and stays bit-for-bit on the
+legacy path when none is (the telemetry-off style no-op contract).
+"""
+
+from .deadline import Deadline, DeadlineExceeded
+from .engine import (
+    ResilienceConfig,
+    ResilienceExhausted,
+    ResilienceInfo,
+    map_with_resilience,
+)
+from .faults import FaultPlan, FaultSpec, InjectedCrash, InjectedFault
+from .journal import JournalError, JournalState, SuiteJournal
+from .policy import DegradationStep, RetryPolicy, default_degradation_chain
+from .selftest import fault_recovery_selftest
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "DegradationStep",
+    "default_degradation_chain",
+    "ResilienceConfig",
+    "ResilienceInfo",
+    "ResilienceExhausted",
+    "map_with_resilience",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedCrash",
+    "SuiteJournal",
+    "JournalState",
+    "JournalError",
+    "fault_recovery_selftest",
+]

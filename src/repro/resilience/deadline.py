@@ -1,0 +1,78 @@
+"""Cooperative wall-clock deadlines.
+
+A :class:`Deadline` is a per-attempt wall-clock budget.  It is *threaded*
+through the layers that can run long — ``QuantumMapper.map`` passes it to
+``Router.route``, and SABRE's swap loop calls :meth:`Deadline.check` once
+per swap round — so a hung heuristic search surfaces as a
+:class:`DeadlineExceeded` at the next cooperative checkpoint instead of
+stalling a worker forever.  The checks are pure ``time.perf_counter``
+comparisons: cheap enough for hot loops, and entirely absent when no
+deadline is in play (callers pass ``deadline=None`` and every check site
+is guarded by an ``is not None`` test).
+
+Deadlines are cooperative by design; the *hard* backstop for workers
+that never reach a checkpoint (stuck in C code, injected hangs) is the
+``item_timeout_s`` kill-and-recompute path in
+:func:`repro.runtime.parallel.parallel_map`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Deadline", "DeadlineExceeded"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative deadline check found the wall-clock budget spent.
+
+    ``stage`` names the checkpoint that noticed (``route.sabre``,
+    ``route.trivial``, ``route.exact``, ...), which the resilience
+    engine records in its per-circuit annotations.
+    """
+
+    def __init__(self, message: str, stage: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
+class Deadline:
+    """A wall-clock budget anchored at construction time.
+
+    Instances are created inside the process that enforces them (the
+    monotonic clock is per-process), typically one per mapping attempt
+    by the resilience engine.
+    """
+
+    __slots__ = ("budget_s", "_expires_at")
+
+    def __init__(self, budget_s: float, _start: Optional[float] = None) -> None:
+        if budget_s < 0:
+            raise ValueError("deadline budget must be >= 0")
+        self.budget_s = float(budget_s)
+        start = time.perf_counter() if _start is None else _start
+        self._expires_at = start + self.budget_s
+
+    @classmethod
+    def after(cls, budget_s: float) -> "Deadline":
+        """A deadline expiring ``budget_s`` seconds from now."""
+        return cls(budget_s)
+
+    @property
+    def remaining_s(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires_at - time.perf_counter()
+
+    @property
+    def expired(self) -> bool:
+        return time.perf_counter() >= self._expires_at
+
+    def check(self, stage: Optional[str] = None) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if time.perf_counter() >= self._expires_at:
+            where = f" at {stage}" if stage else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_s:.3f}s exceeded{where}",
+                stage=stage,
+            )

@@ -1,0 +1,232 @@
+"""Seeded, deterministic fault injection for the execution layer.
+
+A :class:`FaultPlan` is a picklable list of :class:`FaultSpec` entries
+keyed on ``(circuit_index, stage, attempt)``; whether a fault fires is a
+pure function of those coordinates (plus the plan seed for derived
+durations), so the same plan replays identically at ``workers=1`` and
+``workers=N`` — the property the determinism tests pin.
+
+Fault kinds (mirroring the failure taxonomy in ``docs/resilience.md``):
+
+``raise``
+    Raise :class:`InjectedFault` at the start of a mapping attempt —
+    the transient-error path; the retry engine must absorb it.
+``sleep``
+    Sleep just past the attempt's deadline, so the next cooperative
+    :meth:`~repro.resilience.deadline.Deadline.check` inside the router
+    raises — the deadline-expiry/degradation path.
+``hang``
+    Sleep for ``hang_s`` (default 5 s) *inside pool workers only* — the
+    unresponsive-worker path that only the hard kill-and-recompute
+    timeout in ``parallel_map`` can rescue.  In the parent process the
+    hang is downgraded to a ``raise`` (hanging the parent would hang
+    the test), which keeps records identical across worker counts.
+``kill``
+    ``SIGKILL`` the current *pool worker* — the crashed-worker path
+    (broken pool, serial recompute in the parent).  Like ``hang`` it is
+    downgraded to ``raise`` outside a pool worker.
+``crash``
+    Raise :class:`InjectedCrash` in the *parent* right after the
+    circuit's journal append — a simulated hard process death mid-run;
+    ``--resume`` must complete the suite byte-identically.
+``corrupt-journal``
+    Like ``crash``, but the journal's final line is first torn in half
+    (a simulated mid-write power cut); resume must drop the torn tail
+    and recompute that circuit.
+
+Spec strings: ``kind@index[:stage][xN]``, comma-separated —
+``"raise@1,sleep@2,kill@3x2,corrupt-journal@4"``.  ``stage`` defaults
+to ``map`` for in-worker kinds and ``journal`` for the parent-side
+kinds; ``xN`` fires the fault on the first ``N`` attempts (default 1,
+so retries succeed).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "InjectedFault",
+    "InjectedCrash",
+    "FaultSpec",
+    "FaultPlan",
+    "FAULT_KINDS",
+]
+
+FAULT_KINDS = ("raise", "sleep", "hang", "kill", "crash", "corrupt-journal")
+
+#: Kinds that act inside a mapping attempt (worker side).
+_WORKER_KINDS = ("raise", "sleep", "hang", "kill")
+#: Kinds that act in the parent around the journal append.
+_PARENT_KINDS = ("crash", "corrupt-journal")
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (transient; retryable)."""
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated parent-process death; propagates out of the suite run."""
+
+
+def _in_pool_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault, keyed on circuit index, stage and attempt."""
+
+    kind: str
+    index: int
+    stage: str = "map"
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (use one of {FAULT_KINDS})"
+            )
+        if self.attempts < 1:
+            raise ValueError("FaultSpec.attempts must be >= 1")
+
+    def matches(self, index: int, stage: str, attempt: int) -> bool:
+        return (
+            self.index == index
+            and self.stage == stage
+            and attempt < self.attempts
+        )
+
+
+def _default_stage(kind: str) -> str:
+    return "journal" if kind in _PARENT_KINDS else "map"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of planned faults plus derived durations.
+
+    ``seed`` parameterises nothing random — faults fire purely on their
+    ``(index, stage, attempt)`` key — but it is recorded so reports can
+    name the plan, and derived sleep margins stay a pure function of the
+    plan itself.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+    sleep_margin_s: float = 0.02
+    hang_s: float = 5.0
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0, **kwargs) -> "FaultPlan":
+        """Parse a ``kind@index[:stage][xN]`` comma-separated spec string."""
+        specs: List[FaultSpec] = []
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "@" not in chunk:
+                raise ValueError(
+                    f"bad fault spec {chunk!r} (expected kind@index[:stage][xN])"
+                )
+            kind, _, rest = chunk.partition("@")
+            attempts = 1
+            if "x" in rest:
+                rest, _, times = rest.rpartition("x")
+                attempts = int(times)
+            stage = _default_stage(kind)
+            if ":" in rest:
+                rest, _, stage = rest.partition(":")
+            specs.append(
+                FaultSpec(
+                    kind=kind, index=int(rest), stage=stage, attempts=attempts
+                )
+            )
+        return cls(specs=tuple(specs), seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    def planned(self, index: int, stage: str, attempt: int = 0) -> List[FaultSpec]:
+        """Specs that would fire at these coordinates (no side effects)."""
+        return [s for s in self.specs if s.matches(index, stage, attempt)]
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        return ",".join(
+            f"{s.kind}@{s.index}:{s.stage}"
+            + (f"x{s.attempts}" if s.attempts != 1 else "")
+            for s in self.specs
+        )
+
+    # ------------------------------------------------------------------
+    def fire(
+        self,
+        index: int,
+        stage: str,
+        attempt: int,
+        deadline=None,
+    ) -> int:
+        """Trigger every planned worker-side fault at these coordinates.
+
+        Returns the number of faults that fired *and returned* (``sleep``
+        and downgraded ``hang``/``kill``); ``raise`` faults raise
+        :class:`InjectedFault` and ``kill`` inside a pool worker never
+        returns at all.
+        """
+        fired = 0
+        for spec in self.planned(index, stage, attempt):
+            if spec.kind == "kill":
+                if _in_pool_worker():
+                    os.kill(os.getpid(), signal.SIGKILL)
+                raise InjectedFault(
+                    f"injected worker kill at circuit {index} (attempt "
+                    f"{attempt}); downgraded to raise outside a pool worker"
+                )
+            if spec.kind == "hang":
+                if _in_pool_worker():
+                    time.sleep(self.hang_s)
+                    fired += 1
+                    continue
+                raise InjectedFault(
+                    f"injected hang at circuit {index} (attempt {attempt}); "
+                    "downgraded to raise outside a pool worker"
+                )
+            if spec.kind == "sleep":
+                if deadline is not None:
+                    time.sleep(
+                        max(0.0, deadline.remaining_s) + self.sleep_margin_s
+                    )
+                else:
+                    time.sleep(self.sleep_margin_s)
+                fired += 1
+                continue
+            if spec.kind == "raise":
+                raise InjectedFault(
+                    f"injected fault at circuit {index} stage {stage} "
+                    f"(attempt {attempt})"
+                )
+        return fired
+
+    def fire_parent(self, index: int, journal=None) -> None:
+        """Trigger parent-side (journal-stage) faults for ``index``.
+
+        Called by the suite runner right after ``index`` was journaled;
+        ``corrupt-journal`` tears the journal tail first, then both
+        kinds raise :class:`InjectedCrash` to simulate the process dying.
+        """
+        for spec in self.planned(index, "journal", 0):
+            if spec.kind == "corrupt-journal" and journal is not None:
+                journal.corrupt_tail()
+            raise InjectedCrash(
+                f"injected parent crash after journaling circuit {index}"
+                + (
+                    " (journal tail torn)"
+                    if spec.kind == "corrupt-journal"
+                    else ""
+                )
+            )

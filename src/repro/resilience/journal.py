@@ -1,0 +1,173 @@
+"""Crash-safe suite journal: append-only JSONL with atomic replacement.
+
+A :class:`SuiteJournal` records one line per completed circuit (plus a
+header line naming the suite, mapper and device) so a killed suite run
+can resume without recomputing finished work.  Every append rewrites the
+whole journal to a temp file in the same directory and ``os.replace``\\ s
+it over the old one — readers therefore only ever observe a journal
+that is a *complete prefix* of the run, never a torn line (the classic
+tmp-file+rename pattern; the file is small, ~one KB-sized line per
+circuit, so the rewrite is cheap at suite scale).
+
+Mapping records are embedded as base64-pickled payloads next to their
+human-readable summary fields, which is what makes a resumed run's
+records **byte-identical** (``pickle.dumps`` equal) to an uninterrupted
+run's.
+
+:meth:`SuiteJournal.load` tolerates a torn tail anyway — a journal
+produced by a genuinely crashed writer without the atomic rename, or by
+the ``corrupt-journal`` injected fault — by dropping trailing lines that
+fail to parse and reporting them via ``JournalState.dropped_lines``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["JournalError", "JournalState", "SuiteJournal"]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Raised on an unusable journal (wrong suite, bad header, ...)."""
+
+
+def encode_record(record: Any) -> str:
+    """Base64-pickled payload embedded in a journal line."""
+    return base64.b64encode(pickle.dumps(record)).decode("ascii")
+
+
+def decode_record(payload: str) -> Any:
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+@dataclass
+class JournalState:
+    """Everything a journal file currently holds."""
+
+    header: Dict[str, Any]
+    entries: List[Dict[str, Any]] = field(default_factory=list)
+    dropped_lines: int = 0
+
+    def by_index(self) -> Dict[int, Dict[str, Any]]:
+        """Latest entry per circuit index (later lines win)."""
+        return {entry["index"]: entry for entry in self.entries}
+
+
+class SuiteJournal:
+    """Append-only JSONL journal with atomic whole-file replacement."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lines: List[str] = []
+
+    # -- writing -------------------------------------------------------
+    def start(self, header: Dict[str, Any]) -> None:
+        """Begin a fresh journal (truncating any previous one)."""
+        payload = dict(header)
+        payload.setdefault("kind", "header")
+        payload.setdefault("version", JOURNAL_VERSION)
+        self._lines = [json.dumps(payload, sort_keys=True)]
+        self._flush()
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Durably add one circuit entry (atomic tmp-file+rename)."""
+        if not self._lines:
+            raise JournalError("journal has no header; call start() first")
+        payload = dict(entry)
+        payload.setdefault("kind", "record")
+        self._lines.append(json.dumps(payload, sort_keys=True))
+        self._flush()
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(
+            f".{self.path.name}.tmp.{os.getpid()}"
+        )
+        data = "\n".join(self._lines) + "\n"
+        with open(tmp, "w") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    # -- fault hook ----------------------------------------------------
+    def corrupt_tail(self) -> None:
+        """Tear the final journal line in half (simulated torn write).
+
+        Deliberately *not* atomic — this is the fault-injection hook the
+        ``corrupt-journal`` fault uses to produce the on-disk state a
+        power cut mid-write would leave behind.
+        """
+        raw = self.path.read_bytes()
+        stripped = raw.rstrip(b"\n")
+        cut = stripped.rfind(b"\n")
+        last_line_start = cut + 1 if cut >= 0 else 0
+        half = last_line_start + max(
+            1, (len(stripped) - last_line_start) // 2
+        )
+        self.path.write_bytes(raw[:half])
+
+    # -- reading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> JournalState:
+        """Parse a journal, dropping an unparsable (torn) tail.
+
+        A parse failure anywhere truncates the journal at that point:
+        every later line is dropped too (a torn middle means the tail's
+        provenance is unknowable), and the count is reported so callers
+        can log what will be recomputed.
+        """
+        path = Path(path)
+        if not path.is_file():
+            raise JournalError(f"no journal at {path}")
+        lines = path.read_text().splitlines()
+        if not lines:
+            raise JournalError(f"journal {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"journal {path} has a corrupt header") from exc
+        if header.get("kind") != "header":
+            raise JournalError(f"journal {path} does not start with a header")
+        if header.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {path} has version {header.get('version')!r}; "
+                f"this build reads version {JOURNAL_VERSION}"
+            )
+        entries: List[Dict[str, Any]] = []
+        dropped = 0
+        for position, line in enumerate(lines[1:], start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                dropped = len(lines) - position
+                break
+            if entry.get("kind") != "record" or "index" not in entry:
+                dropped = len(lines) - position
+                break
+            entries.append(entry)
+        return JournalState(header=header, entries=entries, dropped_lines=dropped)
+
+    def resume_from(self, path: Optional[Union[str, Path]] = None) -> JournalState:
+        """Load an existing journal and continue appending to it.
+
+        The valid prefix becomes this writer's in-memory line buffer, so
+        the first post-resume append atomically rewrites the file
+        *without* the torn tail.
+        """
+        state = self.load(path if path is not None else self.path)
+        self._lines = [json.dumps(state.header, sort_keys=True)]
+        self._lines.extend(
+            json.dumps(entry, sort_keys=True) for entry in state.entries
+        )
+        return state

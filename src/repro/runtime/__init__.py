@@ -15,6 +15,7 @@ drivers:
 from .parallel import ItemOutcome, ParallelResult, parallel_map, workers_from_env
 from .suite_runner import (
     CircuitFailure,
+    CircuitResilience,
     CircuitTiming,
     SuiteRunReport,
     run_suite_parallel,
@@ -26,6 +27,7 @@ __all__ = [
     "parallel_map",
     "workers_from_env",
     "CircuitFailure",
+    "CircuitResilience",
     "CircuitTiming",
     "SuiteRunReport",
     "run_suite_parallel",

@@ -19,7 +19,16 @@ Failure handling
 * A *dying* worker (SIGKILL, hard crash) breaks the pool; every item
   whose result was lost is recomputed serially in the parent process,
   so the call still returns a complete, correctly ordered result list —
-  ``ParallelResult.fell_back`` records that it happened.
+  ``ParallelResult.fell_back`` records that it happened, and each
+  recomputed item's :attr:`ItemOutcome.attempts` counts the lost pool
+  attempt.
+* An *unresponsive* worker (stuck past ``item_timeout_s`` without
+  completing its item) is hard-killed along with the rest of the pool
+  and the outstanding items are recomputed serially — the backstop for
+  code that never reaches a cooperative deadline checkpoint.  The
+  recompute runs ``fn`` in the parent, so callers using the timeout
+  should hand in an ``fn`` that bounds its own work (the suite runner's
+  resilient payload does, via its cooperative deadlines).
 """
 
 from __future__ import annotations
@@ -28,24 +37,32 @@ import os
 import pickle
 import time
 import traceback
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Set
 
 __all__ = ["ItemOutcome", "ParallelResult", "parallel_map", "workers_from_env"]
 
 #: Environment variable consulted by :func:`workers_from_env`.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
+#: Raw ``REPRO_WORKERS`` values already warned about (one warning each).
+_WARNED_VALUES: Set[str] = set()
+
 
 def workers_from_env(default: Optional[int] = None) -> Optional[int]:
     """Worker count requested via the ``REPRO_WORKERS`` environment variable.
 
-    ``REPRO_WORKERS=N`` (N > 0) returns ``N``; unset, empty, zero or
-    unparsable values return ``default``.  This is the single knob shared
-    by the suite runner and the benchmark drivers, so one environment
-    setting configures every fan-out in a run.
+    ``REPRO_WORKERS=N`` (N > 0) returns ``N``; unset or empty values
+    return ``default``.  Zero, negative or unparsable values *also*
+    return ``default`` but emit a one-time :class:`RuntimeWarning` —
+    a misconfigured environment must be visible, not silently serial.
+    This is the single knob shared by the suite runner and the benchmark
+    drivers, so one environment setting configures every fan-out in a
+    run.
     """
     raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
     if not raw:
@@ -53,8 +70,24 @@ def workers_from_env(default: Optional[int] = None) -> Optional[int]:
     try:
         value = int(raw)
     except ValueError:
+        _warn_invalid_workers(raw, "not an integer")
         return default
-    return value if value > 0 else default
+    if value <= 0:
+        _warn_invalid_workers(raw, "must be a positive integer")
+        return default
+    return value
+
+
+def _warn_invalid_workers(raw: str, reason: str) -> None:
+    if raw in _WARNED_VALUES:
+        return
+    _WARNED_VALUES.add(raw)
+    warnings.warn(
+        f"ignoring {WORKERS_ENV_VAR}={raw!r} ({reason}); "
+        "falling back to the default worker count",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -72,7 +105,17 @@ class ItemOutcome:
     traceback:
         Full formatted traceback on failure (for logs), else ``None``.
     elapsed_s:
-        Wall time spent inside ``fn`` for this item.
+        Wall time spent inside ``fn`` for the attempt that produced
+        this outcome.
+    attempts:
+        How many times the runtime started ``fn`` for this payload: 1
+        on the direct path, 2 when the item was recomputed serially
+        after a worker death or hard timeout (the lost pool attempt
+        counts).
+    duration_s:
+        Wall time of the *measured* attempts for this item.  Equal to
+        ``elapsed_s`` except on the recompute path, where the lost
+        in-worker time is unobservable and only the recompute is summed.
     """
 
     index: int
@@ -80,6 +123,8 @@ class ItemOutcome:
     error: Optional[str]
     traceback: Optional[str]
     elapsed_s: float
+    attempts: int = 1
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -88,22 +133,37 @@ class ItemOutcome:
 
 @dataclass(frozen=True)
 class ParallelResult:
-    """Ordered outcomes plus how the run actually executed."""
+    """Ordered outcomes plus how the run actually executed.
+
+    ``recomputed`` counts the items whose pool result was lost (dead or
+    unresponsive worker) and that were recomputed serially in the
+    parent; ``total_attempts`` sums every per-item attempt, so
+    ``total_attempts - len(outcomes)`` is the run's extra work.
+    """
 
     outcomes: List[ItemOutcome] = field(default_factory=list)
     workers: int = 1
     fell_back: bool = False
+    recomputed: int = 0
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(o.attempts for o in self.outcomes)
 
     def values(self) -> List[Any]:
         """Values of successful items, input order preserved."""
         return [o.value for o in self.outcomes if o.ok]
 
 
-def _run_item(fn: Callable[[Any], Any], index: int, payload: Any) -> ItemOutcome:
+def _run_item(
+    fn: Callable[[Any], Any], index: int, payload: Any, attempts: int = 1
+) -> ItemOutcome:
     """Execute one task, capturing its error and wall time.
 
     Runs inside the worker process (or inline for ``workers=1``); must
     stay module-level so the pool can pickle it by reference.
+    ``attempts`` is the cumulative attempt count this execution brings
+    the item to (2 on the serial-recompute path).
     """
     start = time.perf_counter()
     try:
@@ -113,7 +173,10 @@ def _run_item(fn: Callable[[Any], Any], index: int, payload: Any) -> ItemOutcome
         value = None
         error = f"{type(exc).__name__}: {exc}"
         tb = traceback.format_exc()
-    return ItemOutcome(index, value, error, tb, time.perf_counter() - start)
+    elapsed = time.perf_counter() - start
+    return ItemOutcome(
+        index, value, error, tb, elapsed, attempts=attempts, duration_s=elapsed
+    )
 
 
 def _clone(payload: Any) -> Any:
@@ -126,6 +189,8 @@ def parallel_map(
     payloads: Sequence[Any],
     workers: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    on_result: Optional[Callable[[ItemOutcome], None]] = None,
+    item_timeout_s: Optional[float] = None,
 ) -> ParallelResult:
     """Run ``fn`` over ``payloads`` across processes; ordered outcomes.
 
@@ -142,6 +207,18 @@ def parallel_map(
     progress:
         Optional ``(done, total)`` callback, invoked in the parent as
         results are collected (in submission order).
+    on_result:
+        Optional per-outcome callback, invoked in the parent in
+        submission order as soon as each item's outcome is final — the
+        hook the suite runner journals through, so completed work is
+        durable before the batch finishes.
+    item_timeout_s:
+        Hard per-item wait bound.  When a pooled item takes longer than
+        this to deliver its result, every pool process is killed and the
+        outstanding items are recomputed serially in the parent (see the
+        module docstring's failure-handling notes).  ``None`` disables
+        the bound; ignored on the inline ``workers=1`` path, where
+        cooperative deadlines inside ``fn`` are the only brake.
     """
     payloads = list(payloads)
     total = len(payloads)
@@ -149,12 +226,18 @@ def parallel_map(
         workers = os.cpu_count() or 1
     workers = max(1, min(int(workers), total or 1))
 
+    def _finish(outcome: ItemOutcome) -> None:
+        if on_result is not None:
+            on_result(outcome)
+        if progress is not None:
+            progress(outcome.index + 1, total)
+
     if workers == 1 or total == 0:
         outcomes = []
         for index, payload in enumerate(payloads):
-            outcomes.append(_run_item(fn, index, _clone(payload)))
-            if progress is not None:
-                progress(index + 1, total)
+            outcome = _run_item(fn, index, _clone(payload))
+            outcomes.append(outcome)
+            _finish(outcome)
         return ParallelResult(outcomes, workers=1, fell_back=False)
 
     collected: List[Optional[ItemOutcome]] = [None] * total
@@ -166,23 +249,39 @@ def parallel_map(
             ]
             for index, future in enumerate(futures):
                 try:
-                    collected[index] = future.result()
+                    collected[index] = future.result(timeout=item_timeout_s)
+                except FuturesTimeoutError:
+                    # An unresponsive worker: hard-kill the whole pool
+                    # (there is no per-task kill in ProcessPoolExecutor)
+                    # and recompute the holes below.
+                    for process in list(
+                        getattr(pool, "_processes", {}).values()
+                    ):
+                        process.kill()
+                    break
                 except BrokenProcessPool:
                     # A worker died; later futures are lost too.  Stop
                     # draining and recompute the holes below.
                     break
-                if progress is not None:
-                    progress(index + 1, total)
+                _finish(collected[index])
     except BrokenProcessPool:  # pragma: no cover - raised at pool shutdown
         pass
 
     fell_back = False
+    recomputed = 0
     for index, outcome in enumerate(collected):
         if outcome is None:
             # Serial fallback in the parent: same pickling semantics, so
             # recovered items match what the worker would have returned.
+            # attempts=2 counts the pool attempt whose result was lost.
             fell_back = True
-            collected[index] = _run_item(fn, index, _clone(payloads[index]))
-            if progress is not None:
-                progress(index + 1, total)
-    return ParallelResult(list(collected), workers=workers, fell_back=fell_back)
+            recomputed += 1
+            outcome = _run_item(fn, index, _clone(payloads[index]), attempts=2)
+            collected[index] = outcome
+            _finish(outcome)
+    return ParallelResult(
+        list(collected),
+        workers=workers,
+        fell_back=fell_back,
+        recomputed=recomputed,
+    )

@@ -10,6 +10,8 @@ import multiprocessing
 import os
 import pickle
 import signal
+import time
+import warnings
 
 import pytest
 
@@ -17,7 +19,7 @@ from repro.circuit import Circuit
 from repro.compiler import sabre_mapper, trivial_mapper
 from repro.experiments.common import run_suite
 from repro.hardware import surface17_device
-from repro.runtime import parallel_map, run_suite_parallel
+from repro.runtime import parallel_map, run_suite_parallel, workers_from_env
 from repro.workloads import small_suite
 from repro.workloads.suite import BenchmarkCircuit
 
@@ -38,6 +40,14 @@ def _kill_worker_on_two(x):
     if x == 2 and multiprocessing.parent_process() is not None:
         os.kill(os.getpid(), signal.SIGKILL)
     return x * 10
+
+
+def _hang_in_pool_on_one(x):
+    # Unresponsive (not dead) worker: sleeps far past the hard timeout,
+    # but only inside a pool worker so the parent-side recompute returns.
+    if x == 1 and multiprocessing.parent_process() is not None:
+        time.sleep(60)
+    return x + 7
 
 
 class TestParallelMap:
@@ -87,6 +97,70 @@ class TestParallelMap:
         # kill guard is inert, so the result list is still complete.
         assert result.values() == [0, 10, 20, 30, 40]
         assert [o.index for o in result.outcomes] == [0, 1, 2, 3, 4]
+
+
+class TestAttemptAccounting:
+    def test_direct_path_counts_one_attempt(self):
+        result = parallel_map(_square, [1, 2, 3], workers=1)
+        assert [o.attempts for o in result.outcomes] == [1, 1, 1]
+        assert all(o.duration_s >= 0.0 for o in result.outcomes)
+        assert result.recomputed == 0
+        assert result.total_attempts == 3
+
+    def test_recomputed_item_counts_lost_pool_attempt(self):
+        result = parallel_map(_kill_worker_on_two, [0, 1, 2, 3], workers=2)
+        by_index = {o.index: o for o in result.outcomes}
+        assert by_index[2].attempts == 2
+        assert result.recomputed >= 1
+        assert result.total_attempts == len(result.outcomes) + result.recomputed
+
+    def test_hard_timeout_kills_unresponsive_worker(self):
+        # The hung worker never raises and never dies on its own; only
+        # the item_timeout_s kill-and-recompute backstop can rescue it.
+        result = parallel_map(
+            _hang_in_pool_on_one, [0, 1, 2], workers=2, item_timeout_s=1.5
+        )
+        assert result.fell_back and result.recomputed >= 1
+        assert result.values() == [7, 8, 9]
+        by_index = {o.index: o for o in result.outcomes}
+        assert by_index[1].attempts == 2
+
+    def test_on_result_fires_in_submission_order(self):
+        seen = []
+        parallel_map(
+            _kill_worker_on_two,
+            [0, 1, 2, 3],
+            workers=2,
+            on_result=lambda o: seen.append((o.index, o.value)),
+        )
+        assert seen == [(0, 0), (1, 10), (2, 20), (3, 30)]
+
+
+class TestWorkersFromEnv:
+    def test_negative_value_warns_once(self, monkeypatch):
+        from repro.runtime.parallel import _WARNED_VALUES
+
+        monkeypatch.setenv("REPRO_WORKERS", "-7")
+        _WARNED_VALUES.discard("-7")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert workers_from_env(default=3) == 3
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call: no warning
+            assert workers_from_env(default=3) == 3
+
+    def test_unparsable_value_warns(self, monkeypatch):
+        from repro.runtime.parallel import _WARNED_VALUES
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        _WARNED_VALUES.discard("lots")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert workers_from_env() is None
+
+    def test_valid_value_does_not_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert workers_from_env() == 4
 
 
 class TestSuiteRunner:
