@@ -4,7 +4,7 @@
 PY ?= python
 
 .PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke \
-	trace-smoke
+	trace-smoke resilience-smoke service-smoke bench-service
 
 # Tier-1 test suite.
 test:
@@ -49,6 +49,20 @@ trace-smoke:
 # byte-identical journal resume.
 resilience-smoke:
 	PYTHONPATH=src $(PY) benchmarks/bench_resilience.py
+
+# Service smoke gate: boots the warm-worker compilation service, drives
+# 50 mixed-priority requests with one injected worker SIGKILL, and
+# fails unless every request is answered, the kill is recovered, the
+# cache hit rate clears its floor, and p99 latency and total wall time
+# stay under their limits (<15s end to end).
+service-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_service.py --smoke
+
+# Full service benchmark: 200-request mixed-priority load, byte-identity
+# check vs an inline (workers=0) service; rewrites the committed
+# BENCH_service.json (sustained req/s, p50/p99 latency, hit rate).
+bench-service:
+	PYTHONPATH=src $(PY) benchmarks/bench_service.py
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

@@ -1,0 +1,201 @@
+"""Service benchmark + smoke gate for ``repro.service``.
+
+Two modes:
+
+**Full mode** (default) drives a 200-request mixed-priority load over a
+40-circuit seeded corpus through a warm-worker service, measures
+sustained requests/sec and p50/p99 latency, verifies the byte-identity
+contract (a ``workers=0`` service must answer the same stream with
+byte-identical payloads), and writes the digest to ``BENCH_service.json``
+at the repository root — the committed serving-performance record.
+
+**Smoke mode** (``--smoke``, what ``make service-smoke`` runs) boots the
+service, drives 50 mixed-priority requests with one injected worker
+``kill`` fault, and gates on:
+
+* every request answered (the killed worker's job recovered inline);
+* cache hit rate at least :data:`SMOKE_HIT_RATE_FLOOR`;
+* p99 latency under :data:`SMOKE_P99_LIMIT_S`;
+* whole run under :data:`SMOKE_TIME_LIMIT_S`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--workers N]
+
+Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.service import CompilationService
+from repro.service.loadgen import build_corpus, drive, generate_requests
+
+#: Full-mode load shape: the ISSUE's 200-request acceptance load.
+FULL_REQUESTS = 200
+FULL_CIRCUITS = 40
+
+#: Smoke-mode load shape (one injected fault rides along).
+SMOKE_REQUESTS = 50
+SMOKE_CIRCUITS = 12
+
+#: Smoke gates.
+SMOKE_TIME_LIMIT_S = 15.0
+SMOKE_P99_LIMIT_S = 2.0
+SMOKE_HIT_RATE_FLOOR = 0.5
+
+#: Requests submitted per wave (the client-side concurrency window).
+WAVE_SIZE = 8
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"service-smoke FAILED: {message}")
+
+
+def _run_load(
+    workers: int,
+    num_requests: int,
+    num_circuits: int,
+    device: str,
+    fault_at=None,
+    fault: str = "kill@0",
+    wave_size: int = WAVE_SIZE,
+):
+    corpus = build_corpus(num_circuits, seed=7)
+    requests = generate_requests(
+        corpus,
+        num_requests,
+        seed=11,
+        device=device,
+        fault_at=fault_at,
+        fault=fault,
+    )
+    with CompilationService(workers=workers, devices=(device,)) as service:
+        report = drive(service, requests, wave_size=wave_size)
+    return report
+
+
+def _smoke(workers: int, device: str) -> None:
+    start = time.perf_counter()
+    report = _run_load(
+        workers,
+        SMOKE_REQUESTS,
+        SMOKE_CIRCUITS,
+        device,
+        fault_at=0,  # the first request is always a miss, so the fault
+        # is guaranteed to hit a real compute (not a cache hit)
+    )
+    elapsed = time.perf_counter() - start
+    summary = report.summary()
+    if summary["failed"]:
+        _fail(f"{summary['failed']} requests failed")
+    if len(report.latencies_s) != SMOKE_REQUESTS:
+        _fail(
+            f"only {len(report.latencies_s)}/{SMOKE_REQUESTS} requests "
+            "answered"
+        )
+    if workers > 0 and not summary["recovered"]:
+        _fail("injected worker kill was not recovered")
+    if summary["cache_hit_rate"] < SMOKE_HIT_RATE_FLOOR:
+        _fail(
+            f"cache hit rate {summary['cache_hit_rate']:.2f} below the "
+            f"{SMOKE_HIT_RATE_FLOOR:.2f} floor"
+        )
+    p99 = report.latency_percentile(0.99)
+    if p99 > SMOKE_P99_LIMIT_S:
+        _fail(f"p99 latency {p99:.3f}s over the {SMOKE_P99_LIMIT_S}s limit")
+    if elapsed > SMOKE_TIME_LIMIT_S:
+        _fail(
+            f"smoke took {elapsed:.2f}s (limit {SMOKE_TIME_LIMIT_S:.0f}s)"
+        )
+    print(
+        f"service-smoke ok: {SMOKE_REQUESTS} requests in {elapsed:.2f}s "
+        f"({summary['requests_per_second']:.1f}/s, "
+        f"p99 {summary['latency_p99_ms']:.2f} ms, "
+        f"hit rate {summary['cache_hit_rate']:.0%}, "
+        f"{summary['recovered']} recovered)"
+    )
+    print("service-smoke passed")
+
+
+def _full(workers: int, device: str) -> None:
+    report = _run_load(workers, FULL_REQUESTS, FULL_CIRCUITS, device)
+    summary = report.summary()
+    if summary["failed"]:
+        _fail(f"{summary['failed']} requests failed")
+    if summary["cache_hit_rate"] < SMOKE_HIT_RATE_FLOOR:
+        _fail(
+            f"cache hit rate {summary['cache_hit_rate']:.2f} below the "
+            f"{SMOKE_HIT_RATE_FLOOR:.2f} floor"
+        )
+    # Byte-identity contract: an inline (workers=0) service answering
+    # the same stream must produce the same payload for every request.
+    corpus = build_corpus(FULL_CIRCUITS, seed=7)
+    requests = generate_requests(
+        corpus, FULL_REQUESTS, seed=11, device=device
+    )
+    def _payloads(num_workers: int) -> list:
+        from repro.service import ServiceClient
+
+        collected = []
+        with CompilationService(
+            workers=num_workers, devices=(device,)
+        ) as service:
+            client = ServiceClient(service)
+            # Waves keep the submission burst inside admission limits.
+            for offset in range(0, len(requests), WAVE_SIZE):
+                wave = requests[offset : offset + WAVE_SIZE]
+                for response in client.compile_many(wave, timeout=300.0):
+                    collected.append(response.payload)
+        return collected
+
+    pooled = _payloads(workers)
+    inline = _payloads(0)
+    for index, (left, right) in enumerate(zip(pooled, inline)):
+        if left != right:
+            _fail(
+                f"request {index}: workers={workers} and workers=0 "
+                "payloads differ"
+            )
+    summary["byte_identical_vs_inline"] = True
+    OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(
+        f"service bench: {summary['requests']} requests at "
+        f"{summary['requests_per_second']:.1f}/s, "
+        f"p50 {summary['latency_p50_ms']:.2f} ms, "
+        f"p99 {summary['latency_p99_ms']:.2f} ms, "
+        f"hit rate {summary['cache_hit_rate']:.0%}"
+    )
+    print(f"wrote {OUTPUT}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast gated run (50 requests + one injected fault)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="warm worker processes (default 2; 0 = inline)",
+    )
+    parser.add_argument("--device", default="surface17")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        _smoke(args.workers, args.device)
+    else:
+        _full(args.workers, args.device)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ The subcommands mirror the library's main workflows::
     repro metrics  [results/telemetry]      # inspect an exported telemetry dir
     repro suite    <directory> --num 20     # generate a QASM benchmark corpus
     repro run      <directory> --journal j.jsonl [--resume]  # fault-tolerant run
+    repro serve    --workers 2 --requests 200  # compilation service + load
     repro reproduce [--full]                # regenerate the paper's figures
     repro fuzz     --samples 200 [--faults] # differential fuzz the mapping stack
 
@@ -24,14 +25,7 @@ from typing import List, Optional
 from .circuit import Circuit, draw as draw_circuit, parse_qasm
 from .compiler import noise_aware_mapper, sabre_mapper, trivial_mapper
 from .core import MapperAdvisor, profile_circuit, routing_difficulty
-from .hardware import (
-    Device,
-    grid_device,
-    line_device,
-    surface17_device,
-    surface17_extended_device,
-    surface7_device,
-)
+from .hardware import Device, resolve_device
 
 __all__ = ["main", "build_parser"]
 
@@ -44,24 +38,10 @@ _MAPPERS = {
 
 def _resolve_device(spec: str) -> Device:
     """Parse a device spec: named chips or ``line:N`` / ``grid:RxC``."""
-    named = {
-        "surface7": surface7_device,
-        "surface17": surface17_device,
-        "surface100": lambda: surface17_extended_device(100),
-    }
-    if spec in named:
-        return named[spec]()
-    if spec.startswith("line:"):
-        return line_device(int(spec.split(":", 1)[1]))
-    if spec.startswith("grid:"):
-        rows, cols = spec.split(":", 1)[1].lower().split("x")
-        return grid_device(int(rows), int(cols))
-    if spec.startswith("surface:"):
-        return surface17_extended_device(int(spec.split(":", 1)[1]))
-    raise SystemExit(
-        f"unknown device {spec!r} (use surface7|surface17|surface100|"
-        "surface:N|line:N|grid:RxC)"
-    )
+    try:
+        return resolve_device(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _load_circuit(path: str) -> Circuit:
@@ -352,6 +332,58 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .runtime import workers_from_env
+    from .service import CompilationService
+    from .service.loadgen import build_corpus, drive, generate_requests
+
+    workers = args.workers
+    if workers is None:
+        workers = workers_from_env(default=0)
+    corpus = build_corpus(args.circuits, seed=args.seed)
+    requests = generate_requests(
+        corpus,
+        args.requests,
+        seed=args.seed + 1,
+        device=args.device,
+        mapper=args.mapper,
+        fault_at=0 if args.fault else None,
+        fault=args.fault or "raise@0",
+    )
+    print(
+        f"serving {args.requests} mixed-priority requests "
+        f"({args.circuits} distinct circuits) on {args.device} with "
+        f"{args.mapper}, workers={workers} ...",
+        file=sys.stderr,
+    )
+    with CompilationService(
+        workers=workers, devices=(args.device,), cache_capacity=args.cache
+    ) as service:
+        report = drive(service, requests, wave_size=args.wave)
+    summary = report.summary()
+    print(
+        f"requests:   {summary['requests']} "
+        f"({summary['requests_per_second']:.1f}/s, "
+        f"wall {summary['wall_s']:.2f}s)"
+    )
+    print(
+        f"latency:    p50 {summary['latency_p50_ms']:.2f} ms, "
+        f"p99 {summary['latency_p99_ms']:.2f} ms"
+    )
+    print(
+        f"cache:      {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses "
+        f"(hit rate {summary['cache_hit_rate']:.0%}), "
+        f"{summary['coalesced']} coalesced, "
+        f"{summary['cache_evictions']} evicted"
+    )
+    print(
+        f"resilience: {summary['recovered']} recovered after worker loss, "
+        f"{summary['failed']} failed"
+    )
+    return 1 if summary["failed"] else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import generate_report, records_to_csv, run_suite
     from .workloads import load_suite
@@ -599,6 +631,47 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: REPRO_WORKERS or CPU count)",
     )
     run.set_defaults(handler=_cmd_run)
+
+    serve = commands.add_parser(
+        "serve",
+        help="boot the compilation service (queue + warm workers + "
+        "result cache) and drive a mixed-priority load",
+    )
+    serve.add_argument(
+        "--device",
+        default="surface17",
+        help="surface7|surface17|surface100|surface:N|line:N|grid:RxC",
+    )
+    serve.add_argument("--mapper", default="sabre", choices=sorted(_MAPPERS))
+    serve.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=None,
+        help="warm worker processes (default: REPRO_WORKERS or 0 = inline)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200, help="requests to drive"
+    )
+    serve.add_argument(
+        "--circuits",
+        type=int,
+        default=40,
+        help="distinct circuits in the corpus (repeats drive cache hits)",
+    )
+    serve.add_argument(
+        "--cache", type=int, default=128, help="result-cache capacity"
+    )
+    serve.add_argument(
+        "--wave", type=int, default=8, help="in-flight request window"
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--fault",
+        default=None,
+        help="inject a fault on the first request, e.g. 'kill@0' (drill)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     report = commands.add_parser(
         "report", help="map a QASM corpus and write a markdown report"

@@ -362,6 +362,20 @@ class SabreRouter(Router):
 
     name = "sabre"
 
+    #: Short label of the distance metric, first element of the cache key.
+    metric_name = "hops"
+
+    #: Set to ``True`` in subclasses whose :meth:`_build_distance_matrix`
+    #: consults ``device.calibration``.  The base
+    #: :meth:`_distance_cache_key` then appends the calibration's
+    #: :meth:`~repro.hardware.calibration.Calibration.cache_key` (the
+    #: calibration *version*) automatically, so a fidelity-aware router
+    #: can never serve a distance table computed under stale calibration
+    #: data — the two overrides used to be independent, and forgetting
+    #: the key half silently reused old tables after a calibration
+    #: update (user-visible once results are cached across requests).
+    uses_calibration = False
+
     def __init__(
         self,
         lookahead_size: int = 20,
@@ -413,7 +427,18 @@ class SabreRouter(Router):
         return dist
 
     def _distance_cache_key(self, device: Device) -> tuple:
-        return ("hops", device.coupling)
+        """Cache key of this router's distance table on ``device``.
+
+        Derived, not overridden: the key always carries the metric name
+        and the coupling graph, plus the calibration version whenever
+        :attr:`uses_calibration` declares the metric fidelity-aware.
+        Subclasses adding *router-parameter*-dependent costs should
+        extend the returned tuple rather than replace it.
+        """
+        key: tuple = (self.metric_name, device.coupling)
+        if self.uses_calibration:
+            key += (device.calibration.cache_key(),)
+        return key
 
     def _distance_matrix(self, device: Device) -> np.ndarray:
         """Memoised distance matrix for a device (read-only)."""
@@ -879,10 +904,12 @@ class NoiseAwareRouter(SabreRouter):
 
     name = "noise-aware"
 
-    def _distance_cache_key(self, device: Device) -> tuple:
-        # The error-weighted metric depends on the calibration too, so the
-        # cache key carries its fingerprint as the "calibration version".
-        return ("noise", device.coupling, device.calibration.cache_key())
+    metric_name = "noise"
+
+    # The error-weighted metric depends on the calibration, so the cache
+    # key must carry its fingerprint as the "calibration version" — the
+    # base class derives that from this flag.
+    uses_calibration = True
 
     def _build_distance_matrix(self, device: Device) -> np.ndarray:
         coupling = device.coupling

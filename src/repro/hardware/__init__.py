@@ -38,8 +38,11 @@ from .device import (
     surface7_device,
 )
 from .config import device_from_json, device_to_json, load_device, save_device
+from .registry import DEVICE_SPECS, resolve_device
 
 __all__ = [
+    "DEVICE_SPECS",
+    "resolve_device",
     "CouplingGraph",
     "TopologyError",
     "TOPOLOGY_GENERATORS",

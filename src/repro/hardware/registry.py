@@ -1,0 +1,51 @@
+"""Device-spec registry: one string names one device, everywhere.
+
+``resolve_device`` turns the spec strings used across the CLI, the
+service layer and the benchmarks into :class:`~repro.hardware.device.
+Device` instances: the named chips (``surface7``/``surface17``/
+``surface100``) plus the parametric families (``surface:N``, ``line:N``,
+``grid:RxC``).  Specs are the unit of device identity in the service's
+result-cache key, so resolution must be deterministic: the same spec
+always yields a device with the same coupling graph and calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .device import (
+    Device,
+    grid_device,
+    line_device,
+    surface17_device,
+    surface17_extended_device,
+    surface7_device,
+)
+
+__all__ = ["DEVICE_SPECS", "resolve_device"]
+
+#: Named (non-parametric) device constructors.
+DEVICE_SPECS: Dict[str, Callable[[], Device]] = {
+    "surface7": surface7_device,
+    "surface17": surface17_device,
+    "surface100": lambda: surface17_extended_device(100),
+}
+
+_SPEC_HELP = "surface7|surface17|surface100|surface:N|line:N|grid:RxC"
+
+
+def resolve_device(spec: str) -> Device:
+    """Resolve a device spec string; raises ``ValueError`` when unknown."""
+    if spec in DEVICE_SPECS:
+        return DEVICE_SPECS[spec]()
+    try:
+        if spec.startswith("line:"):
+            return line_device(int(spec.split(":", 1)[1]))
+        if spec.startswith("grid:"):
+            rows, cols = spec.split(":", 1)[1].lower().split("x")
+            return grid_device(int(rows), int(cols))
+        if spec.startswith("surface:"):
+            return surface17_extended_device(int(spec.split(":", 1)[1]))
+    except ValueError as exc:
+        raise ValueError(f"bad device spec {spec!r} (use {_SPEC_HELP})") from exc
+    raise ValueError(f"unknown device {spec!r} (use {_SPEC_HELP})")

@@ -143,10 +143,16 @@ class SuiteJournal:
                 f"this build reads version {JOURNAL_VERSION}"
             )
         entries: List[Dict[str, Any]] = []
+        slot_of: Dict[Any, int] = {}
         dropped = 0
         for position, line in enumerate(lines[1:], start=1):
             if not line.strip():
-                continue
+                # The writer emits exactly one JSON object per line, so a
+                # blank line is itself a tear (e.g. an append that died
+                # after the newline): truncate here like any parse
+                # failure — lines past a tear have unknowable provenance.
+                dropped = len(lines) - position
+                break
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
@@ -155,7 +161,17 @@ class SuiteJournal:
             if entry.get("kind") != "record" or "index" not in entry:
                 dropped = len(lines) - position
                 break
-            entries.append(entry)
+            # Duplicate indices (a crash between append and the runner's
+            # own bookkeeping, replayed on resume) collapse to one line:
+            # the later entry wins, keeping the first occurrence's slot,
+            # so a resumed rewrite is byte-identical to an uninterrupted
+            # run's journal instead of accreting duplicates.
+            slot = slot_of.get(entry["index"])
+            if slot is None:
+                slot_of[entry["index"]] = len(entries)
+                entries.append(entry)
+            else:
+                entries[slot] = entry
         return JournalState(header=header, entries=entries, dropped_lines=dropped)
 
     def resume_from(self, path: Optional[Union[str, Path]] = None) -> JournalState:

@@ -42,15 +42,15 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Set
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["ItemOutcome", "ParallelResult", "parallel_map", "workers_from_env"]
 
 #: Environment variable consulted by :func:`workers_from_env`.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
-#: Raw ``REPRO_WORKERS`` values already warned about (one warning each).
-_WARNED_VALUES: Set[str] = set()
+#: ``(source, value)`` pairs already warned about (one warning each).
+_WARNED_VALUES: Set[Tuple[str, str]] = set()
 
 
 def workers_from_env(default: Optional[int] = None) -> Optional[int]:
@@ -78,12 +78,14 @@ def workers_from_env(default: Optional[int] = None) -> Optional[int]:
     return value
 
 
-def _warn_invalid_workers(raw: str, reason: str) -> None:
-    if raw in _WARNED_VALUES:
+def _warn_invalid_workers(
+    raw: str, reason: str, source: str = WORKERS_ENV_VAR
+) -> None:
+    if (source, raw) in _WARNED_VALUES:
         return
-    _WARNED_VALUES.add(raw)
+    _WARNED_VALUES.add((source, raw))
     warnings.warn(
-        f"ignoring {WORKERS_ENV_VAR}={raw!r} ({reason}); "
+        f"ignoring {source}={raw!r} ({reason}); "
         "falling back to the default worker count",
         RuntimeWarning,
         stacklevel=3,
@@ -222,6 +224,14 @@ def parallel_map(
     """
     payloads = list(payloads)
     total = len(payloads)
+    if workers is not None and int(workers) <= 0:
+        # A zero/negative count is a misconfiguration (it used to be
+        # silently clamped to serial): surface it once and use the
+        # default, mirroring workers_from_env's env-value handling.
+        _warn_invalid_workers(
+            str(workers), "must be a positive integer", source="workers"
+        )
+        workers = None
     if workers is None:
         workers = os.cpu_count() or 1
     workers = max(1, min(int(workers), total or 1))

@@ -1,0 +1,119 @@
+"""Cross-request compiled-result cache.
+
+The cache maps a :class:`ResultKey` — ``(circuit content hash, device
+name, calibration version, mapper name)`` — to the canonical response
+payload bytes.  The calibration *version* is a digest of
+:meth:`~repro.hardware.calibration.Calibration.cache_key`, the same
+fingerprint the routing layer's distance cache keys on, so a
+calibration update can never serve a stale compiled result: the key
+changes, the old entry ages out of the LRU.
+
+Counting contract: the dispatcher performs **exactly one** cache lookup
+per admitted request, so ``hits + misses == admitted requests`` holds
+exactly; ``evictions`` counts entries displaced by the capacity bound.
+The local counters are always exact; matching telemetry counters
+(``service_cache_{hits,misses,evictions}_total``) mirror them whenever
+a telemetry session is active.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Dict, NamedTuple, Optional
+
+from ..circuit import Circuit
+from ..hardware.calibration import Calibration
+from ..hardware.device import Device
+from ..telemetry import metrics as telemetry_metrics
+
+__all__ = ["ResultKey", "ResultCache", "calibration_version", "result_key"]
+
+
+def calibration_version(calibration: Calibration) -> str:
+    """Short stable digest of a calibration's cost-model fingerprint."""
+    fingerprint = repr(calibration.cache_key()).encode("utf-8")
+    return hashlib.blake2b(fingerprint, digest_size=8).hexdigest()
+
+
+class ResultKey(NamedTuple):
+    """Identity of one compiled artifact (all strings: JSON/pickle safe)."""
+
+    circuit: str
+    device: str
+    calibration: str
+    mapper: str
+
+
+def result_key(
+    circuit: Circuit, device_name: str, device: Device, mapper: str
+) -> ResultKey:
+    return ResultKey(
+        circuit=circuit.content_hash(),
+        device=device_name,
+        calibration=calibration_version(device.calibration),
+        mapper=mapper,
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU of canonical response payloads."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[ResultKey, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: ResultKey) -> Optional[bytes]:
+        """Payload for ``key``, counting a hit or a miss."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                telemetry_metrics.counter("service_cache_misses_total").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            telemetry_metrics.counter("service_cache_hits_total").inc()
+            return payload
+
+    def put(self, key: ResultKey, payload: bytes) -> None:
+        """Insert a computed payload, evicting LRU entries past capacity.
+
+        First write wins: concurrent computes of the same key produce
+        byte-identical payloads by construction, so the duplicate is
+        simply dropped (and refreshes recency) rather than rewritten.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = payload
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                telemetry_metrics.counter(
+                    "service_cache_evictions_total"
+                ).inc()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

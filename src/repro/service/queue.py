@@ -1,0 +1,112 @@
+"""Priority job queue with per-class admission control.
+
+Jobs are ordered ``(priority rank, sequence number)`` — strict priority
+between classes, FIFO within one — on a binary heap guarded by a
+condition variable.  Admission control is enforced at ``push`` time:
+each priority class has a depth limit (plus an overall bound), and a
+full class rejects *immediately* with :class:`AdmissionError` instead
+of queueing unbounded work — load-shedding at the door keeps latency
+for already-admitted jobs predictable, and the client can retry with
+backoff or downgrade its priority.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Dict, Optional
+
+from ..telemetry import metrics as telemetry_metrics
+from .jobs import PRIORITY_CLASSES, Job
+
+__all__ = ["AdmissionError", "JobQueue", "DEFAULT_CLASS_LIMITS"]
+
+#: Default per-class queue-depth limits.  ``interactive`` is kept small
+#: on purpose: its promise is low latency, which a deep backlog of
+#: interactive work would break anyway.
+DEFAULT_CLASS_LIMITS: Dict[str, int] = {
+    "interactive": 64,
+    "batch": 256,
+    "bulk": 1024,
+}
+
+
+class AdmissionError(RuntimeError):
+    """The queue refused a job (class or queue full, or shut down)."""
+
+
+class JobQueue:
+    """Heap-ordered priority queue with admission limits."""
+
+    def __init__(
+        self,
+        class_limits: Optional[Dict[str, int]] = None,
+        max_depth: Optional[int] = None,
+    ) -> None:
+        self._limits = dict(DEFAULT_CLASS_LIMITS)
+        if class_limits:
+            unknown = set(class_limits) - set(PRIORITY_CLASSES)
+            if unknown:
+                raise ValueError(f"unknown priority classes: {sorted(unknown)}")
+            self._limits.update(class_limits)
+        self._max_depth = max_depth
+        self._cond = threading.Condition()
+        self._heap: list = []
+        self._depths: Dict[str, int] = {name: 0 for name in PRIORITY_CLASSES}
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Admit a job or raise :class:`AdmissionError`."""
+        priority = job.request.priority
+        with self._cond:
+            if self._closed:
+                raise AdmissionError("queue is shut down")
+            if self._max_depth is not None and len(self._heap) >= self._max_depth:
+                telemetry_metrics.counter(
+                    "service_admission_rejects_total", reason="queue_full"
+                ).inc()
+                raise AdmissionError(
+                    f"queue full ({self._max_depth} jobs queued)"
+                )
+            if self._depths[priority] >= self._limits[priority]:
+                telemetry_metrics.counter(
+                    "service_admission_rejects_total", reason="class_full"
+                ).inc()
+                raise AdmissionError(
+                    f"priority class {priority!r} full "
+                    f"({self._limits[priority]} jobs queued)"
+                )
+            heapq.heappush(self._heap, (job.sort_key, job))
+            self._depths[priority] += 1
+            self._cond.notify()
+
+    # -- consumer side -------------------------------------------------
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Best-priority job, blocking up to ``timeout``; ``None`` when
+        nothing arrived or the queue was closed and drained."""
+        with self._cond:
+            if not self._heap and not self._closed:
+                self._cond.wait(timeout)
+            if not self._heap:
+                return None
+            _, job = heapq.heappop(self._heap)
+            self._depths[job.request.priority] -= 1
+            return job
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- introspection -------------------------------------------------
+    def depth(self, priority: Optional[str] = None) -> int:
+        with self._cond:
+            if priority is None:
+                return len(self._heap)
+            return self._depths[priority]
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {"total": len(self._heap), **dict(self._depths)}

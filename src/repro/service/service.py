@@ -1,0 +1,389 @@
+"""The compilation service: queue, dispatcher, warm workers, cache.
+
+:class:`CompilationService` is the long-lived serving path the batch
+runner cannot be: requests are admitted into a priority
+:class:`~repro.service.queue.JobQueue`, dispatched in priority order,
+answered from the cross-request :class:`~repro.service.cache.
+ResultCache` when possible, and otherwise compiled — inline
+(``workers=0``) or on a :class:`~repro.service.workers.WarmWorkerPool`.
+
+Determinism: the cache lookup happens exactly once per admitted job (at
+dispatch), inline and pooled computes share one code path, and payload
+bytes are canonical — so a ``workers=0`` and a ``workers=4`` service
+given the same requests return byte-identical payloads, and the local
+hit/miss/eviction counters are exact (``hits + misses == dispatched
+requests``).  Concurrent requests for one key are *coalesced*: they
+count as misses at lookup time but ride the single in-flight compute
+instead of duplicating it.
+
+Fault tolerance: each job compiles under the resilience engine
+(deadline, seeded retries, degradation chain), and the parent watches
+worker liveness.  Assignment is parent-side (one task queue per
+worker), so when a worker dies mid-job (e.g. an injected ``kill``
+fault) the parent's own books name the lost job — it is recomputed
+inline and the worker respawned, and the client still gets an answer.
+"""
+
+from __future__ import annotations
+
+import queue as stdlib_queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit import Circuit
+from ..hardware import resolve_device
+from ..hardware.device import Device
+from ..telemetry import metrics as telemetry_metrics
+from .cache import ResultCache, ResultKey, result_key
+from .jobs import CompileRequest, CompileResponse, Job, ServiceError
+from .queue import JobQueue
+from .workers import WarmWorkerPool, compute_payload, prewarm
+
+__all__ = ["CompilationService", "ServiceClient"]
+
+
+class CompilationService:
+    """Queue + cache + warm workers behind a ``submit()`` front door."""
+
+    def __init__(
+        self,
+        workers: int = 0,
+        devices: Sequence[str] = ("surface17",),
+        cache_capacity: int = 128,
+        class_limits: Optional[Dict[str, int]] = None,
+        max_queue_depth: Optional[int] = None,
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline)")
+        self.workers = workers
+        self.device_specs = tuple(devices)
+        self.cache = ResultCache(cache_capacity)
+        self.queue = JobQueue(class_limits=class_limits, max_depth=max_queue_depth)
+        self._devices: Dict[str, Device] = {}
+        self._start_timeout_s = start_timeout_s
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._running = False
+        self._threads: List[threading.Thread] = []
+        self._pool: Optional[WarmWorkerPool] = None
+        self._idle: "stdlib_queue.Queue[int]" = stdlib_queue.Queue()
+        # One lock guards all dispatch bookkeeping: in-flight jobs by
+        # sequence number, worker -> job assignment, and the coalescing
+        # table of jobs waiting on another job's identical compute.
+        self._state_lock = threading.Lock()
+        self._inflight: Dict[int, Job] = {}
+        self._assigned: Dict[int, int] = {}
+        self._pending: Dict[ResultKey, List[Job]] = {}
+        self.requests_total = 0
+        self.coalesced_total = 0
+        self.recovered_total = 0
+        self.failed_total = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "CompilationService":
+        if self._running:
+            raise ServiceError("service already started")
+        for spec in self.device_specs:
+            self._device(spec)
+        self._running = True
+        if self.workers > 0:
+            self._pool = WarmWorkerPool(self.workers, self.device_specs)
+            self._pool.start()
+            collector = threading.Thread(
+                target=self._collect_loop, name="repro-service-collector",
+                daemon=True,
+            )
+            collector.start()
+            self._threads.append(collector)
+            self._await_ready()
+        else:
+            # Inline mode still prewarms, so first-request latency and
+            # warm-table behaviour match the pooled configuration.
+            prewarm(self._devices.values())
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatcher",
+            daemon=True,
+        )
+        dispatcher.start()
+        self._threads.append(dispatcher)
+        return self
+
+    def _await_ready(self) -> None:
+        """Block until every worker's prewarm finished (collector marks
+        them idle as the ``ready`` messages arrive)."""
+        deadline = time.monotonic() + self._start_timeout_s
+        while self._idle.qsize() < self.workers:
+            if time.monotonic() > deadline:  # pragma: no cover - stall guard
+                raise ServiceError(
+                    f"only {self._idle.qsize()}/{self.workers} workers "
+                    f"ready after {self._start_timeout_s}s"
+                )
+            time.sleep(0.01)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=15.0)
+        self._threads.clear()
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+        # Anything still unresolved loses its service; say so.
+        with self._state_lock:
+            leftovers = list(self._inflight.values())
+            for waiters in self._pending.values():
+                leftovers.extend(waiters)
+            self._inflight.clear()
+            self._assigned.clear()
+            self._pending.clear()
+        for job in leftovers:
+            job.fail("service shut down")
+
+    def __enter__(self) -> "CompilationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- front door ----------------------------------------------------
+    def submit(self, request: CompileRequest) -> Job:
+        """Admit one request; raises
+        :class:`~repro.service.queue.AdmissionError` under overload."""
+        if not self._running:
+            raise ServiceError("service is not running")
+        request.validate()
+        device = self._device(request.device)
+        key = result_key(request.circuit, request.device, device, request.mapper)
+        with self._seq_lock:
+            self._seq += 1
+            job = Job(self._seq, request, key)
+        job.submitted_s = time.perf_counter()
+        self.queue.push(job)
+        self.requests_total += 1
+        telemetry_metrics.counter(
+            "service_requests_total", priority=request.priority
+        ).inc()
+        return job
+
+    def _device(self, spec: str) -> Device:
+        device = self._devices.get(spec)
+        if device is None:
+            try:
+                device = resolve_device(spec)
+            except ValueError as exc:
+                raise ServiceError(str(exc)) from exc
+            self._devices[spec] = device
+        return device
+
+    # -- dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.pop(timeout=0.05)
+            if job is None:
+                if not self._running:
+                    break
+                continue
+            payload = self.cache.get(job.key)
+            if payload is not None:
+                self._resolve(job, payload, cached=True, served_by="cache")
+                continue
+            with self._state_lock:
+                waiters = self._pending.get(job.key)
+                if waiters is not None:
+                    # An identical compute is already in flight: ride it
+                    # instead of duplicating the work.
+                    waiters.append(job)
+                    self.coalesced_total += 1
+                    telemetry_metrics.counter(
+                        "service_jobs_coalesced_total"
+                    ).inc()
+                    continue
+                self._pending[job.key] = []
+            if self._pool is None:
+                self._compute_here(job, served_by="inline")
+            else:
+                self._dispatch_to_worker(job)
+
+    def _dispatch_to_worker(self, job: Job) -> None:
+        """Hand a job to the next idle worker (keeps the backlog in the
+        *priority* queue — dispatching ahead of worker capacity would
+        turn it into FIFO order at the workers' doors)."""
+        assert self._pool is not None
+        while True:
+            try:
+                worker_id = self._idle.get(timeout=0.1)
+            except stdlib_queue.Empty:
+                if not self._running:
+                    self._finish_error(job, "service shut down")
+                    return
+                continue
+            if not self._pool.is_alive(worker_id):
+                # Stale idle token of a worker that died between jobs;
+                # the collector respawns it and a fresh token arrives.
+                continue
+            break
+        with self._state_lock:
+            self._inflight[job.seq] = job
+            self._assigned[worker_id] = job.seq
+        try:
+            self._pool.submit(worker_id, job.seq, job.request)
+        except KeyError:  # pragma: no cover - respawn race guard
+            with self._state_lock:
+                self._inflight.pop(job.seq, None)
+                self._assigned.pop(worker_id, None)
+            self._compute_here(job, served_by="recovery")
+
+    # -- completion ----------------------------------------------------
+    def _compute_here(self, job: Job, served_by: str) -> None:
+        """Inline compile (dispatcher thread, or crash recovery)."""
+        try:
+            payload = compute_payload(job.request, self._device(job.request.device))
+        except Exception as exc:  # noqa: BLE001 - reported on the job
+            self._finish_error(job, f"{type(exc).__name__}: {exc}")
+            return
+        self._finish(job, payload, served_by=served_by)
+
+    def _finish(self, job: Job, payload: bytes, served_by: str) -> None:
+        """Cache a computed payload; resolve the job and its coalesced
+        waiters (who are served the freshly cached bytes)."""
+        self.cache.put(job.key, payload)
+        with self._state_lock:
+            waiters = self._pending.pop(job.key, [])
+        self._resolve(job, payload, cached=False, served_by=served_by)
+        for waiter in waiters:
+            self._resolve(waiter, payload, cached=True, served_by="coalesced")
+
+    def _finish_error(self, job: Job, error: str) -> None:
+        with self._state_lock:
+            waiters = self._pending.pop(job.key, [])
+        for failed in [job] + waiters:
+            self.failed_total += 1
+            failed.fail(error)
+
+    def _resolve(
+        self, job: Job, payload: bytes, cached: bool, served_by: str
+    ) -> None:
+        job.resolve(
+            CompileResponse(
+                payload=payload,
+                cached=cached,
+                elapsed_s=time.perf_counter() - job.submitted_s,
+                served_by=served_by,
+            )
+        )
+
+    # -- collector (pool mode) -----------------------------------------
+    def _collect_loop(self) -> None:
+        assert self._pool is not None
+        while True:
+            try:
+                message = self._pool.results.get(timeout=0.1)
+            except stdlib_queue.Empty:
+                message = None
+            if message is not None:
+                self._handle_message(message)
+            self._recover_dead_workers()
+            if not self._running and not self._inflight:
+                break
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "ready":
+            self._idle.put(message[1])
+            return
+        if kind == "done":
+            _, worker_id, job_seq, payload, error = message
+            with self._state_lock:
+                job = self._inflight.pop(job_seq, None)
+                if self._assigned.get(worker_id) == job_seq:
+                    self._assigned.pop(worker_id)
+            if job is not None:
+                if error is not None:
+                    self._finish_error(job, error)
+                else:
+                    self._finish(job, payload, served_by=f"worker-{worker_id}")
+            # else: already recovered inline after a presumed-dead
+            # worker; the late result is redundant (and byte-identical).
+            assert self._pool is not None
+            if self._pool.is_alive(worker_id):
+                self._idle.put(worker_id)
+
+    def _recover_dead_workers(self) -> None:
+        """Respawn dead workers; recompute their assigned jobs inline."""
+        assert self._pool is not None
+        dead = self._pool.dead_workers()
+        if not dead:
+            return
+        lost: List[Job] = []
+        with self._state_lock:
+            for worker_id in dead:
+                job_seq = self._assigned.pop(worker_id, None)
+                if job_seq is not None:
+                    job = self._inflight.pop(job_seq, None)
+                    if job is not None:
+                        lost.append(job)
+        for worker_id in dead:
+            # The respawned worker announces itself with a ``ready``
+            # message, which re-feeds the idle pool.
+            self._pool.respawn(worker_id)
+        for job in lost:
+            self.recovered_total += 1
+            telemetry_metrics.counter("service_jobs_recovered_total").inc()
+            self._compute_here(job, served_by="recovery")
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "requests": self.requests_total,
+            "coalesced": self.coalesced_total,
+            "recovered": self.recovered_total,
+            "failed": self.failed_total,
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+        }
+
+
+class ServiceClient:
+    """In-process client: the test/benchmark-facing face of the service."""
+
+    def __init__(self, service: CompilationService) -> None:
+        self.service = service
+
+    def compile(
+        self,
+        circuit: Circuit,
+        device: str = "surface17",
+        mapper: str = "sabre",
+        priority: str = "batch",
+        timeout: Optional[float] = 120.0,
+        deadline_s: Optional[float] = None,
+        faults: str = "",
+    ) -> CompileResponse:
+        """Submit one circuit and block for its response."""
+        request = CompileRequest(
+            circuit=circuit,
+            device=device,
+            mapper=mapper,
+            priority=priority,
+            deadline_s=deadline_s,
+            faults=faults,
+        )
+        return self.service.submit(request).result(timeout=timeout)
+
+    def compile_many(
+        self,
+        requests: Sequence[CompileRequest],
+        timeout: Optional[float] = 300.0,
+    ) -> List[CompileResponse]:
+        """Submit a batch, then gather responses in submission order."""
+        jobs = [self.service.submit(request) for request in requests]
+        return [job.result(timeout=timeout) for job in jobs]
+
+    def stats(self) -> dict:
+        return self.service.stats()

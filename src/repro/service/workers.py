@@ -1,0 +1,197 @@
+"""Warm worker processes for the compilation service.
+
+The suite runner pays its per-task cost (pickling payloads, rebuilding
+distance tables) on every ``parallel_map`` call; a long-lived service
+cannot.  A :class:`WarmWorkerPool` keeps ``N`` persistent processes
+that **prewarm once** — resolving every registered device, building the
+hop and noise distance matrices and the incident-edge tables, and
+priming the gate-matrix LRU — then serve jobs from per-worker task
+queues.
+
+Assignment is parent-side: each worker has its own task queue and the
+dispatcher hands a job to one *specific* idle worker, so the parent
+always knows which job a worker holds.  If the worker process dies
+mid-job (e.g. an injected ``kill`` fault), no in-queue message needs to
+survive the crash for recovery — the parent's own bookkeeping names the
+lost job, which is recomputed inline while the worker is respawned.
+
+Result-queue messages (worker -> parent):
+
+``("ready", worker_id, pid)``
+    Prewarm finished; the parent marks the worker idle.
+``("done", worker_id, job_seq, payload, error)``
+    Canonical payload bytes (or an error string) for one job.
+
+Workers compile through the same :func:`compute_payload` the parent's
+inline path uses — one code path, so ``workers=0`` and ``workers=N``
+produce byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, Iterable, List, Sequence
+
+from ..circuit.gates import Gate, gate_matrix
+from ..compiler.routing import NoiseAwareRouter, SabreRouter, _incident_edges
+from ..experiments.common import _record
+from ..hardware import resolve_device
+from ..hardware.device import Device
+from ..resilience import FaultPlan, ResilienceConfig, map_with_resilience
+from ..resilience.policy import RetryPolicy
+from ..workloads.suite import BenchmarkCircuit
+from .cache import result_key
+from .jobs import MAPPERS, CompileRequest, build_payload
+
+__all__ = ["WarmWorkerPool", "compute_payload", "prewarm"]
+
+#: Parameter-free gates primed into the matrix LRU at worker start.
+_PREWARM_GATES = ("h", "x", "y", "z", "s", "t", "sdg", "tdg", "cx", "cz", "swap")
+
+
+def prewarm(devices: Iterable[Device]) -> int:
+    """Build the per-device derived tables once; returns tables built.
+
+    Covers both router metrics (hops and noise) plus the incident-edge
+    tables, and primes the gate-matrix LRU with the parameter-free
+    basis — after this, a request touches only warm caches.
+    """
+    warmed = 0
+    for device in devices:
+        SabreRouter()._distance_matrix(device)
+        NoiseAwareRouter()._distance_matrix(device)
+        _incident_edges(device.coupling)
+        warmed += 3
+    for name in _PREWARM_GATES:
+        qubits = (0, 1) if name in ("cx", "cz", "swap") else (0,)
+        try:
+            gate_matrix(Gate(name, qubits))
+            warmed += 1
+        except (KeyError, ValueError):  # pragma: no cover - registry drift
+            continue
+    return warmed
+
+
+def compute_payload(request: CompileRequest, device: Device) -> bytes:
+    """Compile one request to its canonical payload bytes.
+
+    Runs under the resilience engine (per-job deadline, seeded retries,
+    degradation chain), so a transient fault retries with a pristine
+    mapper clone and the surviving result is bit-for-bit what a clean
+    attempt produces.  The record is named by content hash — request
+    cosmetics (circuit ``name``) must not leak into cached bytes.
+    """
+    circuit = request.circuit
+    config = ResilienceConfig(
+        deadline_s=request.deadline_s,
+        policy=RetryPolicy(),
+        faults=FaultPlan.parse(request.faults) if request.faults else None,
+    )
+    mapper = MAPPERS[request.mapper]()
+    result, info = map_with_resilience(
+        circuit, device, mapper, config, circuit_index=0
+    )
+    key = result_key(circuit, request.device, device, request.mapper)
+    benchmark = BenchmarkCircuit(circuit, "random", key.circuit)
+    return build_payload(key, _record(benchmark, result), info)
+
+
+def _worker_main(worker_id, device_specs, tasks, results) -> None:
+    """Process entry point: prewarm, then serve tasks until ``None``."""
+    devices = {spec: resolve_device(spec) for spec in device_specs}
+    prewarm(devices.values())
+    results.put(("ready", worker_id, os.getpid()))
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        job_seq, request = task
+        try:
+            device = devices.get(request.device)
+            if device is None:
+                device = devices[request.device] = resolve_device(
+                    request.device
+                )
+            payload = compute_payload(request, device)
+            results.put(("done", worker_id, job_seq, payload, None))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            results.put(
+                ("done", worker_id, job_seq, None, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class WarmWorkerPool:
+    """Parent-side handle on the persistent worker processes."""
+
+    def __init__(self, num_workers: int, device_specs: Sequence[str]) -> None:
+        if num_workers < 1:
+            raise ValueError("WarmWorkerPool needs at least one worker")
+        self.num_workers = num_workers
+        self.device_specs = tuple(device_specs)
+        self._ctx = multiprocessing.get_context()
+        self.results = self._ctx.Queue()
+        self._tasks: Dict[int, multiprocessing.Queue] = {}
+        self._procs: Dict[int, multiprocessing.Process] = {}
+        self._next_id = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        for _ in range(self.num_workers):
+            self._spawn()
+
+    def _spawn(self) -> int:
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.device_specs, task_queue, self.results),
+            daemon=True,
+            name=f"repro-service-worker-{worker_id}",
+        )
+        proc.start()
+        self._tasks[worker_id] = task_queue
+        self._procs[worker_id] = proc
+        return worker_id
+
+    def respawn(self, worker_id: int) -> int:
+        """Replace a dead worker, keeping pool capacity constant."""
+        proc = self._procs.pop(worker_id, None)
+        self._tasks.pop(worker_id, None)
+        if proc is not None:
+            proc.join(timeout=1.0)
+        return self._spawn()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        for task_queue in self._tasks.values():
+            task_queue.put(None)
+        for proc in self._procs.values():
+            proc.join(timeout=timeout_s)
+        for proc in self._procs.values():
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=timeout_s)
+        self._procs.clear()
+        self._tasks.clear()
+
+    # -- dispatch ------------------------------------------------------
+    def submit(self, worker_id: int, job_seq: int, request: CompileRequest) -> None:
+        """Hand one job to one specific worker (raises ``KeyError`` if
+        that worker was respawned away in the meantime)."""
+        self._tasks[worker_id].put((job_seq, request))
+
+    def is_alive(self, worker_id: int) -> bool:
+        proc = self._procs.get(worker_id)
+        return proc is not None and proc.is_alive()
+
+    def dead_workers(self) -> List[int]:
+        """Worker ids whose process has exited (crash or kill)."""
+        return [
+            worker_id
+            for worker_id, proc in self._procs.items()
+            if not proc.is_alive()
+        ]
+
+    def alive_count(self) -> int:
+        return sum(1 for proc in self._procs.values() if proc.is_alive())

@@ -282,6 +282,58 @@ class TestJournal:
         assert reloaded.dropped_lines == 0
         assert sorted(reloaded.by_index()) == [0, 1]
 
+    def test_blank_line_truncates_like_a_tear(self, tmp_path):
+        # A blank line cannot come from the (one JSON object per line)
+        # writer, so it marks a tear: entries past it have unknowable
+        # provenance and must be dropped, not silently kept.
+        journal = self._start(tmp_path)
+        journal.append({"index": 0, "name": "a"})
+        journal.append({"index": 1, "name": "b"})
+        lines = journal.path.read_text().splitlines()
+        journal.path.write_text(
+            "\n".join([lines[0], lines[1], "", lines[2]]) + "\n"
+        )
+        state = SuiteJournal.load(journal.path)
+        assert sorted(state.by_index()) == [0]
+        assert state.dropped_lines == 2  # the blank line + the orphan
+
+    def test_trailing_blank_line_counts_as_dropped(self, tmp_path):
+        # An append that died right after writing the newline leaves a
+        # trailing empty line; it is a (content-free) torn tail.
+        journal = self._start(tmp_path)
+        journal.append({"index": 0, "name": "a"})
+        journal.path.write_text(journal.path.read_text() + "\n")
+        state = SuiteJournal.load(journal.path)
+        assert sorted(state.by_index()) == [0]
+        assert state.dropped_lines == 1
+
+    def test_duplicate_index_resume_is_byte_identical(self, tmp_path):
+        # A crash between journaling and the runner's bookkeeping can
+        # replay an index on resume.  The duplicate must collapse (later
+        # line wins, first occurrence's slot) so the rewritten journal
+        # is byte-identical to an uninterrupted run's.
+        journal = self._start(tmp_path)
+        journal.append({"index": 0, "name": "a", "status": "ok"})
+        journal.append({"index": 1, "name": "b", "status": "failed"})
+        retried = {"index": 1, "name": "b", "status": "ok"}
+        dup_line = json.dumps({"kind": "record", **retried}, sort_keys=True)
+        journal.path.write_text(
+            journal.path.read_text() + dup_line + "\n" + '{"kind": "rec'
+        )
+        state = SuiteJournal.load(journal.path)
+        assert state.dropped_lines == 1
+        assert [entry["index"] for entry in state.entries] == [0, 1]
+        assert state.by_index()[1]["status"] == "ok"
+        resumed = SuiteJournal(journal.path)
+        resumed.resume_from()
+        resumed.append({"index": 2, "name": "c", "status": "ok"})
+        reference = SuiteJournal(tmp_path / "ref.jsonl")
+        reference.start({"suite": ["a", "b"], "mapper": "m", "device": "d"})
+        reference.append({"index": 0, "name": "a", "status": "ok"})
+        reference.append(retried)
+        reference.append({"index": 2, "name": "c", "status": "ok"})
+        assert journal.path.read_bytes() == reference.path.read_bytes()
+
     def test_missing_or_empty_journal_rejected(self, tmp_path):
         with pytest.raises(JournalError):
             SuiteJournal.load(tmp_path / "nope.jsonl")

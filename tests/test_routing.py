@@ -166,6 +166,78 @@ class TestSabreRouterSpecifics:
         )
 
 
+class TestDistanceCacheCalibration:
+    """Regression: a calibration update must never serve a stale table.
+
+    The distance-cache key is *derived* from ``metric_name`` and
+    ``uses_calibration``; before the fix the key and the matrix builder
+    were two independent overrides, so a fidelity-aware subclass that
+    overrode only ``_build_distance_matrix`` silently reused tables
+    computed under old calibration data.  The service-layer result
+    cache makes that bug user-visible, hence these gates.
+    """
+
+    def test_calibration_aware_metric_invalidates_on_update(self):
+        from dataclasses import replace
+
+        from repro.compiler.routing import clear_distance_cache
+
+        class EdgeErrorRouter(SabreRouter):
+            # Declaring the metric fidelity-aware is all a subclass
+            # should need for correct invalidation.
+            metric_name = "edge-error-metric"
+            uses_calibration = True
+
+            def _build_distance_matrix(self, device):
+                dist = super()._build_distance_matrix(device)
+                return dist * (1.0 + device.calibration.two_qubit_error)
+
+        clear_distance_cache()
+        device = line_device(4)
+        router = EdgeErrorRouter(seed=0)
+        before = router._distance_matrix(device)
+        updated = replace(
+            device,
+            calibration=replace(device.calibration, two_qubit_error=0.25),
+        )
+        after = router._distance_matrix(updated)
+        assert after[0, 3] == pytest.approx(3 * 1.25)
+        assert (before != after).any(), "stale distance table served"
+
+    def test_noise_aware_router_invalidates_on_calibration_update(self):
+        from dataclasses import replace
+
+        from repro.compiler.routing import clear_distance_cache
+
+        clear_distance_cache()
+        device = line_device(5)
+        router = NoiseAwareRouter(seed=0)
+        stale = router._distance_matrix(device)
+        updated = replace(
+            device,
+            calibration=device.calibration.with_edge_error(1, 2, 0.3),
+        )
+        warm = router._distance_matrix(updated)
+        assert (warm != stale).any()
+        # The warm-cache answer must be byte-identical to a cold build.
+        clear_distance_cache()
+        cold = router._distance_matrix(updated)
+        assert (warm == cold).all()
+
+    def test_hop_metric_shared_across_calibrations(self):
+        from dataclasses import replace
+
+        device = line_device(4)
+        router = SabreRouter(seed=0)
+        key = router._distance_cache_key(device)
+        updated = replace(
+            device,
+            calibration=device.calibration.with_edge_error(0, 1, 0.3),
+        )
+        # Hop counts ignore calibration, so the table may be shared.
+        assert router._distance_cache_key(updated) == key
+
+
 class TestNoiseAwareRouterSpecifics:
     def test_prefers_reliable_detour(self):
         # Ring of 4: two routes between opposite corners; poison one side.

@@ -141,18 +141,26 @@ class TestWorkersFromEnv:
         from repro.runtime.parallel import _WARNED_VALUES
 
         monkeypatch.setenv("REPRO_WORKERS", "-7")
-        _WARNED_VALUES.discard("-7")
+        _WARNED_VALUES.discard(("REPRO_WORKERS", "-7"))
         with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
             assert workers_from_env(default=3) == 3
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # second call: no warning
             assert workers_from_env(default=3) == 3
 
+    def test_zero_value_warns_and_falls_back(self, monkeypatch):
+        from repro.runtime.parallel import _WARNED_VALUES
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        _WARNED_VALUES.discard(("REPRO_WORKERS", "0"))
+        with pytest.warns(RuntimeWarning, match="positive integer"):
+            assert workers_from_env(default=5) == 5
+
     def test_unparsable_value_warns(self, monkeypatch):
         from repro.runtime.parallel import _WARNED_VALUES
 
         monkeypatch.setenv("REPRO_WORKERS", "lots")
-        _WARNED_VALUES.discard("lots")
+        _WARNED_VALUES.discard(("REPRO_WORKERS", "lots"))
         with pytest.warns(RuntimeWarning, match="not an integer"):
             assert workers_from_env() is None
 
@@ -161,6 +169,31 @@ class TestWorkersFromEnv:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert workers_from_env() == 4
+
+    def test_parallel_map_zero_workers_warns_and_uses_default(self):
+        # workers=0 used to be silently clamped to 1 (serial); it must
+        # instead warn and behave exactly like workers=None.
+        from repro.runtime.parallel import _WARNED_VALUES
+
+        _WARNED_VALUES.discard(("workers", "0"))
+        with pytest.warns(RuntimeWarning, match="positive integer"):
+            result = parallel_map(_square, list(range(6)), workers=0)
+        assert result.values() == [x * x for x in range(6)]
+        # Fell back to the default (cpu count), clamped to the payload
+        # count — never the silent serial clamp.
+        expected = max(1, min(os.cpu_count() or 1, 6))
+        assert result.workers == expected
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # warn-once: second call clean
+            parallel_map(_square, [1, 2], workers=0)
+
+    def test_parallel_map_negative_workers_warns_and_uses_default(self):
+        from repro.runtime.parallel import _WARNED_VALUES
+
+        _WARNED_VALUES.discard(("workers", "-3"))
+        with pytest.warns(RuntimeWarning, match="workers='-3'"):
+            result = parallel_map(_square, [1, 2, 3], workers=-3)
+        assert result.values() == [1, 4, 9]
 
 
 class TestSuiteRunner:
