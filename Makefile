@@ -4,7 +4,8 @@
 PY ?= python
 
 .PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke \
-	trace-smoke resilience-smoke service-smoke bench-service
+	trace-smoke resilience-smoke service-smoke bench-service \
+	zerocopy-smoke bench-zerocopy
 
 # Tier-1 test suite.
 test:
@@ -63,6 +64,22 @@ service-smoke:
 # BENCH_service.json (sustained req/s, p50/p99 latency, hit rate).
 bench-service:
 	PYTHONPATH=src $(PY) benchmarks/bench_service.py
+
+# Zero-copy smoke gate: a reduced suite through the shared-memory
+# payload plane with fused batching and one injected worker SIGKILL;
+# fails unless the recovered run is byte-identical to the legacy
+# by-value dispatch, no shm segments leak, and the whole run stays
+# under 15s.
+zerocopy-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_zero_copy.py --smoke
+
+# Full zero-copy benchmark: 30-circuit suite transport comparison plus
+# the simulator/router workspace micro-benchmarks; rewrites the
+# committed BENCH_zero_copy.json and fails unless the acceptance bar
+# (>=1.5x end-to-end or >=2x shipped-bytes reduction, byte-identical
+# outputs) is met.
+bench-zerocopy:
+	PYTHONPATH=src $(PY) benchmarks/bench_zero_copy.py
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

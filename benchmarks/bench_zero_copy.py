@@ -1,0 +1,327 @@
+"""Zero-copy hot-path benchmark + smoke gate.
+
+Measures the three layers of the zero-copy work as one end-to-end
+story on the paper's evaluation workload (30 circuits routed onto the
+100-qubit extended surface-code device):
+
+* **transport** — ``run_suite_parallel`` with fused batching over the
+  shared-memory payload plane (``batch_size=8, zero_copy=True``)
+  against the legacy one-pickled-task-per-pipe-message dispatch.
+  Records wall time, bytes actually shipped through the pool pipe,
+  serialized bytes per task, and batch count; refuses to record
+  numbers unless the two reports are **byte-identical** (journal
+  encoding compared record by record).
+* **workspace_sim** — batched state-vector simulation through a
+  preallocated :class:`repro.sim.Workspace` against the allocating
+  ``np.tensordot`` path, gated on bitwise-equal output states.
+* **workspace_routing** — SABRE candidate scoring through the
+  vectorised numpy workspace (``use_workspace=True``) against the
+  legacy per-candidate scoring, gated on identical circuits, swap
+  counts and final layouts.
+
+**Full mode** (default) writes the digest to ``BENCH_zero_copy.json``
+at the repository root and fails unless the transport layer shows a
+>=1.5x end-to-end speedup *or* a >=2x shipped-bytes reduction (the
+ISSUE's acceptance bar) with ``identical_outputs: true``.
+
+**Smoke mode** (``--smoke``, what ``make zerocopy-smoke`` runs) drives
+a reduced suite through the zero-copy path with an injected worker
+SIGKILL (``kill@0``), asserts the recovered run is byte-identical to a
+legacy run, checks that no shared-memory segments leak, and must
+finish in under 15 s.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_zero_copy.py [--smoke]
+
+Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler.decompose import decompose_circuit
+from repro.compiler.layout import Layout
+from repro.compiler.mapper import sabre_mapper
+from repro.compiler.routing import SabreRouter, clear_distance_cache
+from repro.hardware.device import surface17_extended_device
+from repro.resilience.faults import FaultPlan
+from repro.resilience.journal import encode_record
+from repro.runtime import shm
+from repro.runtime.suite_runner import run_suite_parallel
+from repro.sim import Workspace, random_product_states, run_batched
+from repro.workloads import random_circuit
+from repro.workloads.suite import evaluation_suite
+
+SUITE_SEED = 2022
+DEVICE_QUBITS = 100
+FULL_CIRCUITS = 30
+SMOKE_CIRCUITS = 10
+MAX_GATES = 2000
+WORKERS = 4
+SMOKE_WORKERS = 2
+BATCH_SIZE = 8
+
+#: Acceptance bar (either clears the gate): end-to-end transport
+#: speedup, or reduction in bytes shipped through the pool pipe.
+SPEEDUP_FLOOR = 1.5
+BYTES_REDUCTION_FLOOR = 2.0
+
+SMOKE_TIME_LIMIT_S = 15.0
+
+#: Workspace micro-benchmark shapes.
+SIM_QUBITS = 10
+SIM_GATES = 120
+SIM_BATCH = 16
+SIM_CIRCUITS = 8
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_zero_copy.json"
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"zero-copy bench FAILED: {message}")
+
+
+def _workload(num_circuits: int):
+    device = surface17_extended_device(DEVICE_QUBITS)
+    suite = evaluation_suite(
+        num_circuits=num_circuits,
+        seed=SUITE_SEED,
+        max_qubits=54,
+        max_gates=MAX_GATES,
+    )
+    return device, suite
+
+
+def _run_suite(device, suite, workers, *, zero_copy, batch_size, faults=None):
+    start = time.perf_counter()
+    report = run_suite_parallel(
+        suite,
+        device,
+        sabre_mapper(),
+        workers=workers,
+        batch_size=batch_size,
+        zero_copy=zero_copy,
+        faults=faults,
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, report
+
+
+def _encoded_records(report):
+    return [encode_record(record) for record in report.records]
+
+
+def _assert_identical(left, right, what: str) -> None:
+    if len(left.records) != len(right.records):
+        _fail(
+            f"{what}: record counts differ "
+            f"({len(left.records)} vs {len(right.records)})"
+        )
+    for index, (a, b) in enumerate(
+        zip(_encoded_records(left), _encoded_records(right))
+    ):
+        if a != b:
+            _fail(f"{what}: record {index} differs byte-for-byte")
+
+
+def _bench_transport(num_circuits: int, workers: int) -> dict:
+    device, suite = _workload(num_circuits)
+    # One throwaway run warms the distance caches and the pool spawn
+    # machinery out of both timed paths.
+    _run_suite(device, suite, workers, zero_copy=False, batch_size=1)
+    legacy_s, legacy = _run_suite(
+        device, suite, workers, zero_copy=False, batch_size=1
+    )
+    zero_copy_s, fused = _run_suite(
+        device, suite, workers, zero_copy=True, batch_size=BATCH_SIZE
+    )
+    _assert_identical(legacy, fused, "transport legacy vs zero-copy")
+    if shm.created_segments():
+        _fail(f"leaked shared-memory segments: {shm.created_segments()}")
+    tasks = max(1, len(fused.records))
+    bytes_reduction = legacy.shipped_bytes / max(1, fused.shipped_bytes)
+    return {
+        "circuits": len(fused.records),
+        "workers": workers,
+        "batch_size": BATCH_SIZE,
+        "legacy_s": round(legacy_s, 4),
+        "zero_copy_s": round(zero_copy_s, 4),
+        "speedup": round(legacy_s / zero_copy_s, 2),
+        "shipped_bytes_legacy": legacy.shipped_bytes,
+        "shipped_bytes_zero_copy": fused.shipped_bytes,
+        "bytes_reduction": round(bytes_reduction, 1),
+        "serialized_bytes_per_task": fused.serialized_bytes // tasks,
+        "shipped_bytes_per_task": fused.shipped_bytes // tasks,
+        "batches": fused.batches,
+        "identical_outputs": True,
+    }
+
+
+def _bench_workspace_sim() -> dict:
+    rng = np.random.default_rng(SUITE_SEED)
+    circuits = [
+        random_circuit(SIM_QUBITS, SIM_GATES, 0.4, seed=int(rng.integers(1 << 30)))
+        for _ in range(SIM_CIRCUITS)
+    ]
+    states = random_product_states(SIM_QUBITS, SIM_BATCH, np.random.default_rng(7))
+
+    def _all(workspace):
+        return [run_batched(c, states, workspace=workspace) for c in circuits]
+
+    def _timed(workspace):
+        start = time.perf_counter()
+        out = _all(workspace)
+        return time.perf_counter() - start, out
+
+    _all(None)  # warm numpy / gate-matrix caches
+    workspace = Workspace()
+    _all(workspace)  # size the buffers outside the timed region
+    legacy_s, legacy = min(
+        (_timed(None) for _ in range(3)), key=lambda pair: pair[0]
+    )
+    workspace_s, pooled = min(
+        (_timed(workspace) for _ in range(3)), key=lambda pair: pair[0]
+    )
+    for index, (a, b) in enumerate(zip(legacy, pooled)):
+        if np.ascontiguousarray(a).tobytes() != np.ascontiguousarray(b).tobytes():
+            _fail(f"workspace_sim: circuit {index} states differ bitwise")
+    return {
+        "circuits": SIM_CIRCUITS,
+        "qubits": SIM_QUBITS,
+        "batch": SIM_BATCH,
+        "legacy_s": round(legacy_s, 4),
+        "workspace_s": round(workspace_s, 4),
+        "speedup": round(legacy_s / workspace_s, 2),
+        "identical_outputs": True,
+    }
+
+
+def _bench_workspace_routing(num_circuits: int) -> dict:
+    device, suite = _workload(num_circuits)
+    circuits = [decompose_circuit(b.circuit, device.gate_set) for b in suite]
+
+    def _route_all(use_workspace):
+        results = []
+        start = time.perf_counter()
+        for circuit in circuits:
+            router = SabreRouter(seed=11, use_workspace=use_workspace)
+            layout = Layout.trivial(circuit.num_qubits, device.num_qubits)
+            results.append(router.route(circuit, device, layout))
+        return time.perf_counter() - start, results
+
+    clear_distance_cache()
+    _route_all(True)  # warm the distance cache
+    workspace_s, pooled = min(
+        (_route_all(True) for _ in range(3)), key=lambda pair: pair[0]
+    )
+    legacy_s, legacy = min(
+        (_route_all(False) for _ in range(3)), key=lambda pair: pair[0]
+    )
+    for index, (a, b) in enumerate(zip(legacy, pooled)):
+        if (
+            a.circuit != b.circuit
+            or a.swap_count != b.swap_count
+            or a.final_layout != b.final_layout
+        ):
+            _fail(f"workspace_routing: circuit {index} routes differ")
+    return {
+        "circuits": len(circuits),
+        "legacy_s": round(legacy_s, 4),
+        "workspace_s": round(workspace_s, 4),
+        "speedup": round(legacy_s / workspace_s, 2),
+        "total_swaps": sum(r.swap_count for r in pooled),
+        "identical_outputs": True,
+    }
+
+
+def _full() -> None:
+    transport = _bench_transport(FULL_CIRCUITS, WORKERS)
+    workspace_sim = _bench_workspace_sim()
+    workspace_routing = _bench_workspace_routing(FULL_CIRCUITS)
+    digest = {
+        "transport": transport,
+        "workspace_sim": workspace_sim,
+        "workspace_routing": workspace_routing,
+        "identical_outputs": True,
+    }
+    if (
+        transport["speedup"] < SPEEDUP_FLOOR
+        and transport["bytes_reduction"] < BYTES_REDUCTION_FLOOR
+    ):
+        _fail(
+            f"transport speedup {transport['speedup']:.2f}x < "
+            f"{SPEEDUP_FLOOR}x and bytes reduction "
+            f"{transport['bytes_reduction']:.1f}x < {BYTES_REDUCTION_FLOOR}x"
+        )
+    OUTPUT.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+    print(
+        f"transport: {transport['speedup']:.2f}x wall, "
+        f"{transport['bytes_reduction']:.1f}x fewer bytes shipped "
+        f"({transport['shipped_bytes_legacy']} -> "
+        f"{transport['shipped_bytes_zero_copy']}), "
+        f"{transport['batches']} batches"
+    )
+    print(
+        f"workspace_sim: {workspace_sim['speedup']:.2f}x; "
+        f"workspace_routing: {workspace_routing['speedup']:.2f}x "
+        "(all byte-identical)"
+    )
+    print(f"wrote {OUTPUT}")
+
+
+def _smoke() -> None:
+    start = time.perf_counter()
+    device, suite = _workload(SMOKE_CIRCUITS)
+    _, legacy = _run_suite(
+        device, suite, SMOKE_WORKERS, zero_copy=False, batch_size=1
+    )
+    # The zero-copy run takes an injected worker SIGKILL on the first
+    # circuit: the parent must recover from its by-value copy of the
+    # payloads and still produce byte-identical records.
+    _, recovered = _run_suite(
+        device,
+        suite,
+        SMOKE_WORKERS,
+        zero_copy=True,
+        batch_size=4,
+        faults=FaultPlan.parse("kill@0"),
+    )
+    _assert_identical(legacy, recovered, "smoke legacy vs killed zero-copy")
+    if shm.created_segments():
+        _fail(f"leaked shared-memory segments: {shm.created_segments()}")
+    elapsed = time.perf_counter() - start
+    if elapsed > SMOKE_TIME_LIMIT_S:
+        _fail(f"smoke took {elapsed:.2f}s (limit {SMOKE_TIME_LIMIT_S:.0f}s)")
+    print(
+        f"zerocopy-smoke ok: {len(recovered.records)} circuits in "
+        f"{elapsed:.2f}s, shipped {legacy.shipped_bytes} -> "
+        f"{recovered.shipped_bytes} bytes, worker kill recovered, "
+        "records byte-identical"
+    )
+    print("zerocopy-smoke passed")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast gated run (reduced suite + injected worker kill)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        _smoke()
+    else:
+        _full()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -140,6 +140,91 @@ class SabreTwinInvariant(_RoutingMixin, Invariant):
         return None
 
 
+class WorkspaceRoutingTwinInvariant(_RoutingMixin, Invariant):
+    """Workspace-buffer SABRE scoring must match the allocating path.
+
+    The zero-copy scoring transport (``use_workspace=True``: masked
+    ``copyto`` substitution, flat-index gathers and ``out=`` reductions
+    into preallocated buffers) is pure plumbing — same arithmetic, same
+    RNG draws — so the routed circuit must be bit-for-bit identical to
+    the reference implementation's.
+    """
+
+    name = "workspace_routing_twin"
+
+    def check(self, sample: FuzzSample) -> Optional[str]:
+        circuit, layout = self._prepare(sample)
+        reference = self.router_factory(_route_seed(sample), True)
+        if not hasattr(reference, "workspace_twin"):
+            raise SkipInvariant("router has no workspace path")
+        workspace = reference.workspace_twin()
+        if not getattr(workspace, "use_workspace", False):
+            # Factory already produced a workspace router; flip back so
+            # the pair is (workspace on, workspace off) either way.
+            reference, workspace = workspace, reference
+        fast = workspace.route(circuit, sample.device, layout)
+        slow = reference.route(circuit, sample.device, layout)
+        if fast.swap_count != slow.swap_count:
+            return (
+                f"swap counts diverge: workspace={fast.swap_count} "
+                f"reference={slow.swap_count}"
+            )
+        if fast.circuit != slow.circuit:
+            return "routed circuits diverge between scoring transports"
+        if fast.final_layout != slow.final_layout:
+            return "final layouts diverge between scoring transports"
+        return None
+
+
+class WorkspaceSimTwinInvariant(Invariant):
+    """Workspace-buffer batched simulation must match the allocating path.
+
+    ``run_batched(..., workspace=Workspace())`` ping-pongs two
+    preallocated buffers through ``np.dot(..., out=)`` — the contiguous
+    operands are bitwise equal to the ones ``np.tensordot`` builds
+    internally, so final state batches must agree bit for bit, not just
+    within tolerance.
+    """
+
+    name = "workspace_sim_twin"
+
+    #: Dense batched simulation is cheap only for narrow circuits.
+    max_qubits = 12
+
+    def check(self, sample: FuzzSample) -> Optional[str]:
+        import numpy as np
+
+        from ..sim.statevector import (
+            Workspace,
+            random_product_states,
+            run_batched,
+        )
+
+        circuit = sample.circuit
+        if circuit.num_qubits > self.max_qubits:
+            raise SkipInvariant("circuit too wide for the dense twin")
+        if circuit.num_qubits == 0:
+            raise SkipInvariant("empty register")
+        states = random_product_states(
+            circuit.num_qubits, 2, sample.seed.rng(salt=2)
+        )
+        try:
+            reference = run_batched(circuit, states)
+            buffered = run_batched(circuit, states, workspace=Workspace())
+        except ValueError as exc:  # measure/reset cannot be batched
+            raise SkipInvariant(str(exc)) from None
+        if (
+            np.ascontiguousarray(reference).tobytes()
+            != np.ascontiguousarray(buffered).tobytes()
+        ):
+            delta = float(np.max(np.abs(reference - buffered)))
+            return (
+                "workspace simulation diverges from the reference path "
+                f"(max |delta|={delta!r})"
+            )
+        return None
+
+
 class RoutedCouplingInvariant(_RoutingMixin, Invariant):
     """Routed output must respect the coupling graph and count its swaps."""
 
@@ -368,9 +453,11 @@ def default_bank(
     """The full per-sample invariant bank, in evaluation order."""
     return [
         SabreTwinInvariant(router_factory),
+        WorkspaceRoutingTwinInvariant(router_factory),
         RoutedCouplingInvariant(router_factory),
         OracleTwinInvariant(router_factory),
         MetricsTwinInvariant(),
+        WorkspaceSimTwinInvariant(),
         MappingSemanticsInvariant(router_factory),
         RelabelMetricsInvariant(),
         CommutationFidelityInvariant(),

@@ -1,0 +1,67 @@
+"""Deterministic, size-aware packing of payloads into fused tasks.
+
+One pool submission per payload is the safest dispatch shape, but at
+service scale the per-task overhead (executor bookkeeping, pipe writes,
+future wakeups) dominates when the payloads themselves are small
+circuits.  :func:`pack_batches` fuses adjacent payloads into one task,
+under two rules that keep the runner's determinism contract intact:
+
+* **Stable order** — payloads are packed contiguously in submission
+  order, never reordered or balanced by load.  Flattening the batch
+  results in batch order therefore reproduces the per-item submission
+  order exactly, which is why results are byte-identical at any worker
+  count *and* any batch size.
+* **Deterministic cuts** — a batch closes when it holds ``batch_size``
+  items or when adding the next item would push it past
+  ``max_batch_bytes`` (a batch always holds at least one item, so an
+  oversized single payload still ships).  The cuts depend only on the
+  payload sizes, not on timing or worker availability.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["pack_batches"]
+
+
+def pack_batches(
+    sizes: Sequence[int],
+    batch_size: int,
+    max_batch_bytes: Optional[int] = None,
+) -> List[List[int]]:
+    """Pack item indices ``0..len(sizes)-1`` into contiguous batches.
+
+    ``sizes`` are the serialized byte lengths of the payloads in
+    submission order.  Returns a list of index lists; concatenating
+    them yields ``range(len(sizes))`` (order is never changed).  Each
+    batch holds at most ``batch_size`` items (minimum 1) and, when
+    ``max_batch_bytes`` is set, closes before exceeding it — except
+    that a single item larger than the cap still gets its own batch.
+    """
+    count = len(sizes)
+    batch_size = max(1, int(batch_size))
+    if count == 0:
+        return []
+    if batch_size == 1:
+        return [[index] for index in range(count)]
+
+    batches: List[List[int]] = []
+    current: List[int] = []
+    current_bytes = 0
+    for index in range(count):
+        size = int(sizes[index])
+        overflow = (
+            max_batch_bytes is not None
+            and current
+            and current_bytes + size > max_batch_bytes
+        )
+        if current and (len(current) >= batch_size or overflow):
+            batches.append(current)
+            current = []
+            current_bytes = 0
+        current.append(index)
+        current_bytes += size
+    if current:
+        batches.append(current)
+    return batches

@@ -1,0 +1,341 @@
+"""Shared-memory data plane: the zero-copy side of the runtime.
+
+Process fan-out in this repository historically shipped every payload
+by value: ``parallel_map`` pickles each task into the pool pipe and the
+service's warm workers rebuild their derived tables from scratch.  At
+service scale the *serialization* dominates — the paper's full-stack
+argument applied to our own stack.  This module is the small registry
+that lets both layers ship **descriptors instead of bytes**:
+
+* the parent :func:`publish_bytes` / :func:`publish_array` blobs and
+  arrays into ``multiprocessing.shared_memory`` segments, getting back
+  tiny picklable :class:`SegmentRef` descriptors (segment name, shape,
+  dtype, offset, length);
+* workers :func:`read_bytes` / :func:`attach_array` through a
+  process-local attach cache, so a segment is mapped **once per
+  process** no matter how many tasks reference it;
+* segments are reference-counted (:func:`retain` / :func:`release`)
+  and crash-safe: every segment created by this process is recorded
+  and unlinked at interpreter exit even when the owning code path never
+  reached its ``finally`` (:func:`cleanup_all` is registered with
+  :mod:`atexit`), and :func:`unlink` is idempotent — double unlinks and
+  unlinks of already-vanished segments are safe no-ops.
+
+Telemetry: ``shm_segments_total`` / ``shm_bytes_total`` count creation,
+``shm_attach_total`` counts *fresh* per-process attaches (a cache hit
+does not count — that is the point), all gated on the usual telemetry
+switch.
+
+Platforms without POSIX/System-V shared memory degrade gracefully:
+:func:`is_available` reports support, and callers (``parallel_map``,
+the service pool) silently fall back to the by-value path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
+
+try:  # pragma: no cover - import gate, exercised implicitly everywhere
+    from multiprocessing import shared_memory as _shared_memory
+
+    _SHM_OK = True
+except ImportError:  # pragma: no cover - platform without shm
+    _shared_memory = None
+    _SHM_OK = False
+
+__all__ = [
+    "SegmentRef",
+    "ShmUnavailable",
+    "is_available",
+    "publish_bytes",
+    "publish_array",
+    "read_bytes",
+    "read_view",
+    "attach_array",
+    "retain",
+    "release",
+    "unlink",
+    "attached_count",
+    "created_segments",
+    "detach_all",
+    "cleanup_all",
+]
+
+
+class ShmUnavailable(RuntimeError):
+    """Shared memory is unsupported here, or the segment is gone.
+
+    Raised on attach when the platform has no shared memory or when the
+    referenced segment has already been unlinked (e.g. the publishing
+    process crashed and its atexit cleanup ran).  Callers recover by
+    recomputing from their by-value copy of the data.
+    """
+
+
+def is_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` works on this host."""
+    return _SHM_OK
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """A tiny picklable pointer into one shared-memory segment.
+
+    ``kind`` is ``"bytes"`` (an opaque blob; ``shape``/``dtype`` unused)
+    or ``"array"`` (a dense ndarray of ``shape``/``dtype`` starting at
+    ``offset``).  A ref is ~100 bytes on the wire regardless of how
+    large the data it names is — that is the whole zero-copy trick.
+    """
+
+    segment: str
+    offset: int
+    length: int
+    kind: str = "bytes"
+    shape: Tuple[int, ...] = field(default_factory=tuple)
+    dtype: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("bytes", "array"):
+            raise ValueError(f"unknown SegmentRef kind {self.kind!r}")
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("SegmentRef offset/length must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Process-local state.  ``_CREATED`` tracks segments this process owns
+# (name -> [SharedMemory, refcount]); ``_ATTACHED`` caches foreign
+# segments this process has mapped.  One lock guards both: attach/unlink
+# races only happen under deliberate crash tests, but they must stay
+# safe there too.
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_CREATED: Dict[str, List] = {}
+_ATTACHED: Dict[str, "_shared_memory.SharedMemory"] = {}
+_SEGMENT_PREFIX = "repro-shm"
+
+
+def _new_segment(nbytes: int) -> "_shared_memory.SharedMemory":
+    if not _SHM_OK:
+        raise ShmUnavailable("multiprocessing.shared_memory is unavailable")
+    name = f"{_SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(6)}"
+    shm = _shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    with _LOCK:
+        _CREATED[shm.name] = [shm, 1]
+    if tracing.is_enabled():
+        telemetry_metrics.counter("shm_segments_total").inc()
+        telemetry_metrics.counter("shm_bytes_total").inc(max(1, nbytes))
+    return shm
+
+
+def publish_bytes(blobs: Sequence[bytes]) -> Tuple[str, List[SegmentRef]]:
+    """Copy ``blobs`` into one fresh segment; returns its name + refs.
+
+    The blobs are laid out back to back in submission order, so the
+    returned refs differ only in ``offset``/``length`` — a fused task
+    batch ships as ``(segment, [(offset, length), ...])``.  The segment
+    starts with refcount 1 (owned by the caller); pair with
+    :func:`release`.
+    """
+    total = sum(len(blob) for blob in blobs)
+    shm = _new_segment(total)
+    refs: List[SegmentRef] = []
+    offset = 0
+    view = shm.buf
+    for blob in blobs:
+        view[offset : offset + len(blob)] = blob
+        refs.append(SegmentRef(shm.name, offset, len(blob), kind="bytes"))
+        offset += len(blob)
+    return shm.name, refs
+
+
+def publish_array(array: np.ndarray) -> SegmentRef:
+    """Copy one ndarray into a fresh segment; returns its ref.
+
+    The array is stored C-contiguous; :func:`attach_array` hands back a
+    read-only zero-copy view of the mapped segment.  Refcount starts at
+    1 (owned by the caller); pair with :func:`release`.
+    """
+    data = np.ascontiguousarray(array)
+    shm = _new_segment(data.nbytes)
+    target = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+    target[...] = data
+    return SegmentRef(
+        shm.name,
+        0,
+        data.nbytes,
+        kind="array",
+        shape=tuple(int(s) for s in data.shape),
+        dtype=str(data.dtype),
+    )
+
+
+def _attach(name: str) -> "_shared_memory.SharedMemory":
+    """Map a segment into this process (cached; one mapping per name)."""
+    if not _SHM_OK:
+        raise ShmUnavailable("multiprocessing.shared_memory is unavailable")
+    with _LOCK:
+        owned = _CREATED.get(name)
+        if owned is not None:
+            return owned[0]
+        cached = _ATTACHED.get(name)
+        if cached is not None:
+            return cached
+    try:
+        try:
+            shm = _shared_memory.SharedMemory(name=name, create=False, track=False)
+        except TypeError:  # pragma: no cover - Python < 3.13 has no track=
+            # Pre-3.13 attach re-registers the name with the resource
+            # tracker shared across the process tree; that is a set-add
+            # no-op on top of the creator's own registration, and the
+            # creator's unlink() performs the single matching
+            # unregister.  Unregistering here too would double-remove
+            # and make the tracker print KeyError tracebacks.
+            shm = _shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError as exc:
+        raise ShmUnavailable(
+            f"shared segment {name!r} is gone (publisher crashed or "
+            "already unlinked it)"
+        ) from exc
+    with _LOCK:
+        existing = _ATTACHED.get(name)
+        if existing is not None:  # lost a benign race; keep the first map
+            shm.close()
+            return existing
+        _ATTACHED[name] = shm
+    if tracing.is_enabled():
+        telemetry_metrics.counter("shm_attach_total").inc()
+    return shm
+
+
+def read_bytes(ref: SegmentRef) -> bytes:
+    """The blob a ``bytes`` ref points at (copied out of the segment)."""
+    shm = _attach(ref.segment)
+    return bytes(shm.buf[ref.offset : ref.offset + ref.length])
+
+
+def read_view(ref: SegmentRef) -> memoryview:
+    """Zero-copy view of a ``bytes`` ref (valid while attached)."""
+    shm = _attach(ref.segment)
+    return shm.buf[ref.offset : ref.offset + ref.length]
+
+
+def attach_array(ref: SegmentRef) -> np.ndarray:
+    """Read-only zero-copy ndarray view of an ``array`` ref."""
+    if ref.kind != "array":
+        raise ValueError(f"ref {ref} does not name an array")
+    shm = _attach(ref.segment)
+    array = np.ndarray(
+        ref.shape,
+        dtype=np.dtype(ref.dtype),
+        buffer=shm.buf,
+        offset=ref.offset,
+    )
+    array.setflags(write=False)
+    return array
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: refcounting + idempotent unlink + crash-safe sweep
+# ---------------------------------------------------------------------------
+
+def retain(name: str) -> None:
+    """Take one extra reference on a segment this process created."""
+    with _LOCK:
+        entry = _CREATED.get(name)
+        if entry is None:
+            raise KeyError(f"segment {name!r} is not owned by this process")
+        entry[1] += 1
+
+
+def release(name: str) -> bool:
+    """Drop one reference; unlinks at zero.  True when unlinked."""
+    with _LOCK:
+        entry = _CREATED.get(name)
+        if entry is None:
+            return False
+        entry[1] -= 1
+        if entry[1] > 0:
+            return False
+    return unlink(name)
+
+
+def unlink(name: str) -> bool:
+    """Destroy a segment owned by this process (idempotent).
+
+    Returns True when this call actually unlinked it; False when the
+    segment was already gone (double unlink, a crashed publisher, or a
+    name this process never created) — never raises for those, which is
+    what lets crash-recovery paths call it unconditionally.
+    """
+    with _LOCK:
+        entry = _CREATED.pop(name, None)
+    if entry is None:
+        return False
+    shm = entry[0]
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirk
+        pass
+    # SharedMemory.unlink() also unregisters the name from the resource
+    # tracker (stdlib behaviour), so no extra bookkeeping is needed here
+    # — adding our own unregister would double-remove and make the
+    # tracker process print KeyError tracebacks.
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def attached_count() -> int:
+    """Foreign segments currently mapped by this process (cache size)."""
+    with _LOCK:
+        return len(_ATTACHED)
+
+
+def created_segments() -> List[str]:
+    """Names of live segments owned by this process."""
+    with _LOCK:
+        return sorted(_CREATED)
+
+
+def detach_all() -> int:
+    """Close every cached foreign mapping (tests/worker shutdown)."""
+    with _LOCK:
+        attached = list(_ATTACHED.values())
+        _ATTACHED.clear()
+    for shm in attached:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover - live views
+            pass
+    return len(attached)
+
+
+def cleanup_all() -> int:
+    """Unlink every segment this process still owns; returns the count.
+
+    Registered with :mod:`atexit`, so a process that dies without
+    reaching its ``finally`` blocks (crash tests, SIGTERM teardown)
+    still removes its segments instead of leaking them into
+    ``/dev/shm``.
+    """
+    removed = 0
+    for name in created_segments():
+        if unlink(name):
+            removed += 1
+    return removed
+
+
+atexit.register(cleanup_all)

@@ -229,6 +229,11 @@ class SuiteRunReport:
         The journal file the run appended to, when journaling.
     wall_time_s:
         End-to-end wall time of the run (monotonic clock).
+    batches / serialized_bytes / shipped_bytes / zero_copy:
+        Dispatch accounting from :class:`ParallelResult`: fused tasks
+        dispatched, total pickled payload bytes, bytes actually
+        embedded in pool submissions, and whether the shared-memory
+        transport was used (see ``docs/performance.md``).
     """
 
     records: List = field(default_factory=list)
@@ -242,6 +247,10 @@ class SuiteRunReport:
     resumed: int = 0
     journal_path: Optional[str] = None
     wall_time_s: float = 0.0
+    batches: int = 0
+    serialized_bytes: int = 0
+    shipped_bytes: int = 0
+    zero_copy: bool = False
 
     @property
     def total_circuit_time_s(self) -> float:
@@ -418,6 +427,9 @@ def run_suite_parallel(
     journal: Optional[Union[str, "os.PathLike[str]"]] = None,
     resume: bool = False,
     item_timeout_s: Optional[float] = None,
+    batch_size: int = 1,
+    max_batch_bytes: Optional[int] = None,
+    zero_copy: bool = False,
 ) -> SuiteRunReport:
     """Map a benchmark suite with a worker pool; see :class:`SuiteRunReport`.
 
@@ -458,6 +470,12 @@ def run_suite_parallel(
         backstop that kills an *unresponsive* worker (one that never
         reaches a cooperative deadline checkpoint) and recomputes its
         items in the parent.
+    batch_size / max_batch_bytes / zero_copy:
+        Dispatch knobs forwarded to :func:`parallel_map` (fused task
+        batching and the shared-memory payload plane; see
+        ``docs/performance.md``).  Pure transport: records, journals
+        and telemetry stay byte-identical at any setting, which
+        ``make zerocopy-smoke`` asserts.
     """
     from ..experiments.common import paper_configuration
     from ..compiler.mapper import trivial_mapper
@@ -617,11 +635,18 @@ def run_suite_parallel(
             progress=_progress if progress is not None else None,
             on_result=_on_result if resilience_active else None,
             item_timeout_s=item_timeout_s,
+            batch_size=batch_size,
+            max_batch_bytes=max_batch_bytes,
+            zero_copy=zero_copy,
         )
         root.set("workers", result.workers)
         report.workers = result.workers
         report.fell_back = result.fell_back
         report.recomputed = result.recomputed
+        report.batches = result.batches
+        report.serialized_bytes = result.serialized_bytes
+        report.shipped_bytes = result.shipped_bytes
+        report.zero_copy = result.zero_copy
         root_id = getattr(root, "span_id", None)
         outcome_by_kept = {
             pending[outcome.index][0]: outcome

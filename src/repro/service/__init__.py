@@ -33,7 +33,13 @@ from .jobs import (
 from .loadgen import LoadReport, build_corpus, drive, generate_requests
 from .queue import DEFAULT_CLASS_LIMITS, AdmissionError, JobQueue
 from .service import CompilationService, ServiceClient
-from .workers import WarmWorkerPool, compute_payload, prewarm
+from .workers import (
+    WarmWorkerPool,
+    attach_prewarm_tables,
+    compute_payload,
+    prewarm,
+    publish_prewarm_tables,
+)
 
 __all__ = [
     "AdmissionError",
@@ -54,8 +60,10 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "WarmWorkerPool",
+    "attach_prewarm_tables",
     "calibration_version",
     "compute_payload",
     "prewarm",
+    "publish_prewarm_tables",
     "result_key",
 ]

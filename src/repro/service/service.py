@@ -34,11 +34,18 @@ from typing import Dict, List, Optional, Sequence
 from ..circuit import Circuit
 from ..hardware import resolve_device
 from ..hardware.device import Device
+from ..runtime import shm
 from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
 from .cache import ResultCache, ResultKey, result_key
 from .jobs import CompileRequest, CompileResponse, Job, ServiceError
 from .queue import JobQueue
-from .workers import WarmWorkerPool, compute_payload, prewarm
+from .workers import (
+    WarmWorkerPool,
+    compute_payload,
+    prewarm,
+    publish_prewarm_tables,
+)
 
 __all__ = ["CompilationService", "ServiceClient"]
 
@@ -54,10 +61,17 @@ class CompilationService:
         class_limits: Optional[Dict[str, int]] = None,
         max_queue_depth: Optional[int] = None,
         start_timeout_s: float = 60.0,
+        zero_copy: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline)")
         self.workers = workers
+        #: Opt-in shared-memory prewarm: the parent publishes each
+        #: device's distance/incident tables once and workers attach
+        #: read-only views instead of rebuilding them per process (see
+        #: docs/performance.md).  Ignored when ``workers == 0`` or the
+        #: platform lacks shared memory.
+        self.zero_copy = zero_copy
         self.device_specs = tuple(devices)
         self.cache = ResultCache(cache_capacity)
         self.queue = JobQueue(class_limits=class_limits, max_depth=max_queue_depth)
@@ -68,6 +82,7 @@ class CompilationService:
         self._running = False
         self._threads: List[threading.Thread] = []
         self._pool: Optional[WarmWorkerPool] = None
+        self._shm_segments: List[str] = []
         self._idle: "stdlib_queue.Queue[int]" = stdlib_queue.Queue()
         # One lock guards all dispatch bookkeeping: in-flight jobs by
         # sequence number, worker -> job assignment, and the coalescing
@@ -89,7 +104,17 @@ class CompilationService:
             self._device(spec)
         self._running = True
         if self.workers > 0:
-            self._pool = WarmWorkerPool(self.workers, self.device_specs)
+            shm_tables = None
+            if self.zero_copy and shm.is_available():
+                # Build the derived tables once here and publish them;
+                # every worker attaches instead of recomputing.  The
+                # segment names are kept so stop() can release them.
+                shm_tables, self._shm_segments = publish_prewarm_tables(
+                    self._devices
+                )
+            self._pool = WarmWorkerPool(
+                self.workers, self.device_specs, shm_tables=shm_tables
+            )
             self._pool.start()
             collector = threading.Thread(
                 target=self._collect_loop, name="repro-service-collector",
@@ -133,6 +158,12 @@ class CompilationService:
         if self._pool is not None:
             self._pool.stop()
             self._pool = None
+        # Unlink the published prewarm segments.  Workers that are
+        # still unwinding keep their existing mappings (POSIX unlink
+        # only removes the name), so ordering is not delicate here.
+        for name in self._shm_segments:
+            shm.release(name)
+        self._shm_segments = []
         # Anything still unresolved loses its service; say so.
         with self._state_lock:
             leftovers = list(self._inflight.values())
@@ -251,6 +282,12 @@ class CompilationService:
     def _finish(self, job: Job, payload: bytes, served_by: str) -> None:
         """Cache a computed payload; resolve the job and its coalesced
         waiters (who are served the freshly cached bytes)."""
+        if tracing.is_enabled():
+            telemetry_metrics.histogram(
+                "payload_bytes",
+                buckets=telemetry_metrics.BYTE_BUCKETS,
+                path="service_result",
+            ).observe(float(len(payload)))
         self.cache.put(job.key, payload)
         with self._state_lock:
             waiters = self._pending.pop(job.key, [])
@@ -340,6 +377,10 @@ class CompilationService:
     def stats(self) -> dict:
         return {
             "workers": self.workers,
+            "zero_copy": bool(self.zero_copy and self.workers > 0),
+            "dispatch_bytes": (
+                self._pool.dispatch_bytes_total if self._pool is not None else 0
+            ),
             "requests": self.requests_total,
             "coalesced": self.coalesced_total,
             "recovered": self.recovered_total,

@@ -25,26 +25,53 @@ Result-queue messages (worker -> parent):
 Workers compile through the same :func:`compute_payload` the parent's
 inline path uses — one code path, so ``workers=0`` and ``workers=N``
 produce byte-identical payloads.
+
+Zero-copy prewarm (opt-in): with ``CompilationService(zero_copy=True)``
+the parent builds every device's derived tables once, publishes the
+hop/noise distance matrices and incident-edge tables into shared memory
+(:mod:`repro.runtime.shm`), and each worker *attaches* read-only views
+instead of re-running all-pairs shortest paths per process
+(:func:`publish_prewarm_tables` / :func:`attach_prewarm_tables`).  If a
+segment is gone by the time a worker starts, the worker silently falls
+back to building its own tables — attach is an optimisation, never a
+correctness dependency.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Dict, Iterable, List, Sequence
+import pickle
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import Gate, gate_matrix
-from ..compiler.routing import NoiseAwareRouter, SabreRouter, _incident_edges
+from ..compiler.routing import (
+    NoiseAwareRouter,
+    SabreRouter,
+    _incident_edges,
+    seed_distance_cache,
+    seed_incident_cache,
+)
 from ..experiments.common import _record
 from ..hardware import resolve_device
 from ..hardware.device import Device
 from ..resilience import FaultPlan, ResilienceConfig, map_with_resilience
 from ..resilience.policy import RetryPolicy
+from ..runtime import shm
+from ..telemetry import metrics as telemetry_metrics
+from ..telemetry import tracing
 from ..workloads.suite import BenchmarkCircuit
 from .cache import result_key
 from .jobs import MAPPERS, CompileRequest, build_payload
 
-__all__ = ["WarmWorkerPool", "compute_payload", "prewarm"]
+__all__ = [
+    "WarmWorkerPool",
+    "attach_prewarm_tables",
+    "compute_payload",
+    "prewarm",
+    "publish_prewarm_tables",
+]
 
 #: Parameter-free gates primed into the matrix LRU at worker start.
 _PREWARM_GATES = ("h", "x", "y", "z", "s", "t", "sdg", "tdg", "cx", "cz", "swap")
@@ -73,6 +100,73 @@ def prewarm(devices: Iterable[Device]) -> int:
     return warmed
 
 
+def publish_prewarm_tables(
+    devices: Dict[str, Device],
+) -> Tuple[Dict[str, Dict[str, shm.SegmentRef]], List[str]]:
+    """Parent side of the zero-copy prewarm.
+
+    Builds each device's hop and noise distance matrices plus its
+    incident-edge table (warming the parent's own caches as a side
+    effect) and publishes them into shared memory.  Returns the
+    per-device-spec descriptor map to hand to workers and the list of
+    segment names the caller must :func:`repro.runtime.shm.release`
+    at shutdown.
+    """
+    tables: Dict[str, Dict[str, shm.SegmentRef]] = {}
+    segments: List[str] = []
+    for spec, device in devices.items():
+        hop = SabreRouter()._distance_matrix(device)
+        noise = NoiseAwareRouter()._distance_matrix(device)
+        incident = _incident_edges(device.coupling)
+        hop_ref = shm.publish_array(hop)
+        noise_ref = shm.publish_array(noise)
+        _, (incident_ref,) = shm.publish_bytes(
+            [pickle.dumps(incident, protocol=pickle.HIGHEST_PROTOCOL)]
+        )
+        tables[spec] = {
+            "hop": hop_ref,
+            "noise": noise_ref,
+            "incident": incident_ref,
+        }
+        segments.extend(
+            (hop_ref.segment, noise_ref.segment, incident_ref.segment)
+        )
+    return tables, segments
+
+
+def attach_prewarm_tables(
+    devices: Dict[str, Device],
+    tables: Dict[str, Dict[str, shm.SegmentRef]],
+) -> int:
+    """Worker side of the zero-copy prewarm; returns devices seeded.
+
+    Attaches the published distance matrices as read-only views and
+    seeds this process's routing caches, so the subsequent
+    :func:`prewarm` call hits warm entries instead of re-running
+    all-pairs shortest paths.  A vanished segment (publisher crashed,
+    already unlinked) just skips that device — :func:`prewarm` rebuilds
+    the tables locally.
+    """
+    seeded = 0
+    for spec, refs in tables.items():
+        device = devices.get(spec)
+        if device is None:
+            continue
+        try:
+            hop = shm.attach_array(refs["hop"])
+            noise = shm.attach_array(refs["noise"])
+            incident = pickle.loads(shm.read_bytes(refs["incident"]))
+        except (shm.ShmUnavailable, ValueError, KeyError):
+            continue
+        seed_distance_cache(SabreRouter()._distance_cache_key(device), hop)
+        seed_distance_cache(
+            NoiseAwareRouter()._distance_cache_key(device), noise
+        )
+        seed_incident_cache(device.coupling, incident)
+        seeded += 1
+    return seeded
+
+
 def compute_payload(request: CompileRequest, device: Device) -> bytes:
     """Compile one request to its canonical payload bytes.
 
@@ -97,16 +191,24 @@ def compute_payload(request: CompileRequest, device: Device) -> bytes:
     return build_payload(key, _record(benchmark, result), info)
 
 
-def _worker_main(worker_id, device_specs, tasks, results) -> None:
-    """Process entry point: prewarm, then serve tasks until ``None``."""
+def _worker_main(worker_id, device_specs, tasks, results, shm_tables=None) -> None:
+    """Process entry point: prewarm, then serve tasks until ``None``.
+
+    Tasks arrive as pre-pickled ``(job_seq, request)`` blobs — the
+    parent pickles exactly once (with timing/size telemetry) and the
+    queue ships opaque bytes, so dispatch serialization cost is both
+    measured and paid in one place.
+    """
     devices = {spec: resolve_device(spec) for spec in device_specs}
+    if shm_tables:
+        attach_prewarm_tables(devices, shm_tables)
     prewarm(devices.values())
     results.put(("ready", worker_id, os.getpid()))
     while True:
         task = tasks.get()
         if task is None:
             break
-        job_seq, request = task
+        job_seq, request = pickle.loads(task)
         try:
             device = devices.get(request.device)
             if device is None:
@@ -124,16 +226,23 @@ def _worker_main(worker_id, device_specs, tasks, results) -> None:
 class WarmWorkerPool:
     """Parent-side handle on the persistent worker processes."""
 
-    def __init__(self, num_workers: int, device_specs: Sequence[str]) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        device_specs: Sequence[str],
+        shm_tables: Optional[Dict[str, Dict[str, shm.SegmentRef]]] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("WarmWorkerPool needs at least one worker")
         self.num_workers = num_workers
         self.device_specs = tuple(device_specs)
+        self.shm_tables = shm_tables
         self._ctx = multiprocessing.get_context()
         self.results = self._ctx.Queue()
         self._tasks: Dict[int, multiprocessing.Queue] = {}
         self._procs: Dict[int, multiprocessing.Process] = {}
         self._next_id = 0
+        self.dispatch_bytes_total = 0
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -146,7 +255,13 @@ class WarmWorkerPool:
         task_queue = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.device_specs, task_queue, self.results),
+            args=(
+                worker_id,
+                self.device_specs,
+                task_queue,
+                self.results,
+                self.shm_tables,
+            ),
             daemon=True,
             name=f"repro-service-worker-{worker_id}",
         )
@@ -178,8 +293,33 @@ class WarmWorkerPool:
     # -- dispatch ------------------------------------------------------
     def submit(self, worker_id: int, job_seq: int, request: CompileRequest) -> None:
         """Hand one job to one specific worker (raises ``KeyError`` if
-        that worker was respawned away in the meantime)."""
-        self._tasks[worker_id].put((job_seq, request))
+        that worker was respawned away in the meantime).
+
+        The task is pickled here — once, parent-side — so the dispatch
+        payload size and serialization time are observable
+        (``payload_bytes{path="service_dispatch"}``,
+        ``serialized_bytes_total`` / ``serialization_seconds_total``)
+        instead of hidden inside the queue's feeder thread.
+        """
+        task_queue = self._tasks[worker_id]
+        start = time.perf_counter()
+        blob = pickle.dumps((job_seq, request), protocol=pickle.HIGHEST_PROTOCOL)
+        self.dispatch_bytes_total += len(blob)
+        if tracing.is_enabled():
+            telemetry_metrics.histogram(
+                "payload_bytes",
+                buckets=telemetry_metrics.BYTE_BUCKETS,
+                path="service_dispatch",
+            ).observe(float(len(blob)))
+            telemetry_metrics.counter(
+                "serialized_bytes_total", path="service_dispatch"
+            ).inc(len(blob))
+            telemetry_metrics.counter(
+                "serialization_seconds_total",
+                path="service_dispatch",
+                stage="pickle",
+            ).inc(time.perf_counter() - start)
+        task_queue.put(blob)
 
     def is_alive(self, worker_id: int) -> bool:
         proc = self._procs.get(worker_id)

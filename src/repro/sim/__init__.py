@@ -3,6 +3,7 @@
 from .statevector import (
     Simulator,
     SimulationResult,
+    Workspace,
     apply_gate,
     apply_gate_batched,
     basis_state,
@@ -36,6 +37,7 @@ from .density import (
 __all__ = [
     "Simulator",
     "SimulationResult",
+    "Workspace",
     "apply_gate",
     "apply_gate_batched",
     "basis_state",

@@ -28,6 +28,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "BYTE_BUCKETS",
     "counter",
     "gauge",
     "histogram",
@@ -38,6 +39,13 @@ __all__ = [
 #: Default histogram upper bounds; a final +inf bucket is implicit.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
+#: Byte-size buckets (256 B … 16 MiB) for payload/wire histograms such
+#: as ``payload_bytes``; a final +inf bucket is implicit.
+BYTE_BUCKETS: Tuple[float, ...] = (
+    256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
 )
 
 LabelKey = Tuple[Tuple[str, str], ...]

@@ -19,6 +19,20 @@ from repro.workloads import small_suite
 #: suite.run carries the worker count; everything else is deterministic.
 _VOLATILE_ATTRS = {"workers"}
 
+#: Transport metrics describe *how* the run executed, not what work was
+#: traced: the inline workers=1 path dispatches no pool batches and
+#: times no pickle, so these families are worker-count-dependent by
+#: design and excluded from the semantic-equality comparison.
+_TRANSPORT_METRICS = {"batch_size", "serialization_seconds_total"}
+
+
+def _semantic_metrics(snapshot):
+    return {
+        name: series
+        for name, series in snapshot.items()
+        if name not in _TRANSPORT_METRICS
+    }
+
 
 def _suite():
     return small_suite(num_circuits=6, seed=7)
@@ -65,7 +79,11 @@ class TestWorkerCountIndependence:
         # Durations are real measurements, not copies of each other.
         assert all(s.end_s >= s.start_s for s in tele4.spans)
         # Counter/histogram totals match exactly: same work was traced.
-        assert tele1.metrics_snapshot() == tele4.metrics_snapshot()
+        # (Transport metrics — batch counts, pickle timings — are the
+        # one family that legitimately differs with the worker count.)
+        assert _semantic_metrics(tele1.metrics_snapshot()) == _semantic_metrics(
+            tele4.metrics_snapshot()
+        )
 
     def test_stage_breakdown_per_circuit(self):
         report, _ = _traced_run(workers=2)
