@@ -5,7 +5,7 @@ PY ?= python
 
 .PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke \
 	trace-smoke resilience-smoke service-smoke bench-service \
-	zerocopy-smoke bench-zerocopy
+	zerocopy-smoke bench-zerocopy drift-smoke
 
 # Tier-1 test suite.
 test:
@@ -64,6 +64,16 @@ service-smoke:
 # BENCH_service.json (sustained req/s, p50/p99 latency, hit rate).
 bench-service:
 	PYTHONPATH=src $(PY) benchmarks/bench_service.py
+
+# Streaming-drift smoke gate: first a planted-divergence self-test
+# (corrupting one distance row must trip the comparison), then a seeded
+# 50-update calibration replay where the incremental table refresh must
+# stay byte-identical to a wholesale rebuild at every epoch — on the
+# distance tables and on a routed Fig. 3 suite — while recomputing
+# strictly fewer rows, all under 15s; rewrites the committed
+# BENCH_drift.json (rows recomputed, invalidation latency).
+drift-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_drift.py --smoke
 
 # Zero-copy smoke gate: a reduced suite through the shared-memory
 # payload plane with fused batching and one injected worker SIGKILL;

@@ -1,0 +1,234 @@
+"""Streaming-drift benchmark + smoke gate for ``repro.hardware.drift``.
+
+Replays a seeded 50-update :class:`~repro.hardware.drift.DriftPlan`
+against the served device and, after **every** update, byte-compares the
+incrementally migrated noise distance table (only rows reachable through
+changed edges recomputed) against a wholesale rebuild, then routes a
+reduced Fig. 3 suite against both tables and compares the routed
+circuits gate for gate.  Gates on:
+
+* bit-for-bit equivalence at every epoch (tables *and* routed circuits);
+* strictly fewer rows recomputed than a wholesale rebuild would pay
+  (the incremental path must actually save work);
+* the planted-divergence self-test being caught (corrupt one row of the
+  incremental table, assert the comparison trips — proves the gate can
+  fail);
+* whole run under :data:`SMOKE_TIME_LIMIT_S` in smoke mode.
+
+Writes the committed record to ``BENCH_drift.json`` at the repository
+root: rows recomputed vs total, wholesale fallbacks, and the mean /
+p99 invalidation latency per update for both strategies.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_drift.py [--smoke]
+        [--updates N] [--device SPEC]
+
+Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.compiler import Layout, decompose_circuit
+from repro.compiler.routing import NoiseAwareRouter, clear_distance_cache
+from repro.hardware import resolve_device
+from repro.hardware.drift import CalibrationStream, DriftPlan
+from repro.workloads.suite import small_suite
+
+#: Replay length: the ISSUE's 50-update acceptance trace.
+SMOKE_UPDATES = 50
+FULL_UPDATES = 100
+
+#: Reduced Fig. 3 suite size routed at checkpoint epochs.
+SMOKE_CIRCUITS = 6
+FULL_CIRCUITS = 12
+
+#: Route the suite against both tables every this-many updates (routing
+#: every epoch would dominate the runtime without adding coverage; the
+#: tables themselves are still byte-compared at every epoch).
+ROUTE_EVERY = 10
+
+SMOKE_TIME_LIMIT_S = 15.0
+SEED = 2022
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_drift.json"
+
+
+def _fail(message: str) -> None:
+    raise SystemExit(f"drift-smoke FAILED: {message}")
+
+
+class _PinnedRouter(NoiseAwareRouter):
+    """Routes against one explicit distance table (no module cache)."""
+
+    def __init__(self, table, seed: int = 0) -> None:
+        super().__init__(seed=seed)
+        self._table = table
+
+    def _distance_matrix(self, device):
+        return self._table
+
+    def _build_distance_matrix(self, device):
+        return self._table
+
+
+def _route_suite(suite, device, table):
+    """Gate lists of the suite routed against one pinned table."""
+    routed = []
+    for benchmark in suite:
+        circuit = decompose_circuit(benchmark.circuit, device.gate_set)
+        if circuit.num_qubits > device.num_qubits:
+            continue
+        layout = Layout.trivial(circuit.num_qubits, device.num_qubits)
+        result = _PinnedRouter(table, seed=SEED).route(circuit, device, layout)
+        routed.append([(g.name, g.qubits) for g in result.circuit])
+    return routed
+
+
+def _percentile(values, q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def _replay(device_spec: str, num_updates: int, num_circuits: int) -> dict:
+    device = resolve_device(device_spec)
+    suite = small_suite(num_circuits, seed=7)
+    plan = DriftPlan.generate(device, num_updates=num_updates, seed=SEED)
+    stream = CalibrationStream(device.calibration, name=device_spec)
+    router = NoiseAwareRouter(seed=SEED)
+    clear_distance_cache()
+    incremental = router._build_distance_matrix(device)
+    current = device
+    rows_recomputed = 0
+    wholesale_fallbacks = 0
+    incremental_s = []
+    wholesale_s = []
+    for step, delta in enumerate(plan.updates):
+        diff = stream.apply(delta)
+        drifted = replace(current, calibration=stream.calibration)
+        tick = time.perf_counter()
+        incremental, rows, wholesale = router.refresh_distance_matrix(
+            current, drifted, incremental, diff.changed_edges
+        )
+        incremental_s.append(time.perf_counter() - tick)
+        tick = time.perf_counter()
+        rebuilt = router._build_distance_matrix(drifted)
+        wholesale_s.append(time.perf_counter() - tick)
+        rows_recomputed += rows
+        wholesale_fallbacks += int(wholesale)
+        if incremental.tobytes() != rebuilt.tobytes():
+            bad = int((incremental != rebuilt).sum())
+            _fail(
+                f"update {step + 1}/{num_updates} (epoch {diff.epoch}): "
+                f"incremental and wholesale tables diverge in {bad} entries"
+            )
+        if (step + 1) % ROUTE_EVERY == 0 or step + 1 == num_updates:
+            if _route_suite(suite, drifted, incremental) != _route_suite(
+                suite, drifted, rebuilt
+            ):
+                _fail(
+                    f"update {step + 1}/{num_updates}: routed circuits "
+                    "diverge between the incremental and wholesale tables"
+                )
+        current = drifted
+    total_rows = num_updates * device.num_qubits
+    if rows_recomputed >= total_rows:
+        _fail(
+            f"incremental path recomputed {rows_recomputed}/{total_rows} "
+            "rows — no cheaper than rebuilding everything"
+        )
+    return {
+        "device": device_spec,
+        "updates": num_updates,
+        "final_epoch": stream.epoch,
+        "suite_circuits": len(suite),
+        "rows_recomputed": rows_recomputed,
+        "rows_total": total_rows,
+        "rows_saved_percent": round(
+            100.0 * (1.0 - rows_recomputed / total_rows), 2
+        ),
+        "wholesale_fallbacks": wholesale_fallbacks,
+        "invalidation_mean_us": round(
+            1e6 * sum(incremental_s) / len(incremental_s), 2
+        ),
+        "invalidation_p99_us": round(1e6 * _percentile(incremental_s, 0.99), 2),
+        "wholesale_mean_us": round(
+            1e6 * sum(wholesale_s) / len(wholesale_s), 2
+        ),
+        "wholesale_p99_us": round(1e6 * _percentile(wholesale_s, 0.99), 2),
+    }
+
+
+def _self_test(device_spec: str) -> None:
+    """Planted divergence: corrupt one row, assert the gate catches it.
+
+    Proves the byte-comparison actually has teeth — a gate that cannot
+    fail gates nothing.
+    """
+    device = resolve_device(device_spec)
+    router = NoiseAwareRouter(seed=SEED)
+    clear_distance_cache()
+    table = router._build_distance_matrix(device).copy()
+    corrupted = table.copy()
+    corrupted[device.num_qubits // 2, :] += 0.5
+    if corrupted.tobytes() == table.tobytes():
+        _fail("self-test: planted corruption was not detectable")
+    suite = small_suite(4, seed=7)
+    if _route_suite(suite, device, corrupted) == _route_suite(
+        suite, device, table
+    ):
+        # A half-unit shift on a full distance row must steer at least
+        # one SWAP differently on this suite; if not, the routing
+        # comparison is vacuous.
+        _fail("self-test: planted corruption did not change any routing")
+    print("drift self-test ok: planted divergence caught")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="gated run (50 updates, reduced suite, 15s budget)",
+    )
+    parser.add_argument("--updates", type=int, default=None)
+    parser.add_argument("--device", default="surface17")
+    args = parser.parse_args(argv)
+    num_updates = args.updates or (
+        SMOKE_UPDATES if args.smoke else FULL_UPDATES
+    )
+    num_circuits = SMOKE_CIRCUITS if args.smoke else FULL_CIRCUITS
+    start = time.perf_counter()
+    _self_test(args.device)
+    summary = _replay(args.device, num_updates, num_circuits)
+    elapsed = time.perf_counter() - start
+    summary["elapsed_s"] = round(elapsed, 3)
+    if args.smoke and elapsed > SMOKE_TIME_LIMIT_S:
+        _fail(
+            f"smoke took {elapsed:.2f}s (limit {SMOKE_TIME_LIMIT_S:.0f}s)"
+        )
+    OUTPUT.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(
+        f"drift replay ok: {summary['updates']} updates on "
+        f"{summary['device']}, {summary['rows_recomputed']}/"
+        f"{summary['rows_total']} rows recomputed "
+        f"({summary['rows_saved_percent']}% saved, "
+        f"{summary['wholesale_fallbacks']} wholesale fallbacks), "
+        f"invalidation mean {summary['invalidation_mean_us']} us vs "
+        f"rebuild {summary['wholesale_mean_us']} us, in {elapsed:.2f}s"
+    )
+    print(f"wrote {OUTPUT}")
+    if args.smoke:
+        print("drift-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

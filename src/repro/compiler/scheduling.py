@@ -43,10 +43,18 @@ class Schedule:
         Scheduled gates ordered by start time (stable on ties).
     circuit:
         The source circuit.
+    calibration_epoch:
+        When the schedule was built against a streaming
+        :class:`~repro.hardware.drift.CalibrationStream`, the epoch its
+        durations were read at — ``None`` for a plain calibration.  A
+        schedule never re-reads the stream: durations are pinned at
+        entry, and the epoch names which calibration generation they
+        came from (drift invalidation and the replay tests key on it).
     """
 
     entries: List[ScheduledGate]
     circuit: Circuit
+    calibration_epoch: Optional[int] = None
 
     @property
     def latency_ns(self) -> float:
@@ -112,6 +120,7 @@ def asap_schedule(
     max_parallel_2q: Optional[int] = None,
     coupling=None,
     crosstalk_free: bool = False,
+    stream=None,
 ) -> Schedule:
     """As-soon-as-possible list schedule.
 
@@ -126,10 +135,20 @@ def asap_schedule(
       the paper cites as a co-design example.  Trades latency for the
       removal of the crosstalk fidelity penalty (see
       :func:`repro.metrics.fidelity.crosstalk_overlaps`).
+
+    ``stream`` (a :class:`~repro.hardware.drift.CalibrationStream`)
+    overrides ``calibration``: durations are read from the stream's
+    *current* calibration, pinned for the whole schedule, and the
+    result's ``calibration_epoch`` records which drift epoch they came
+    from — mid-schedule drift can never mix generations.
     """
     _check_constraints(max_parallel_2q)
     if crosstalk_free and coupling is None:
         raise ValueError("crosstalk_free scheduling needs the coupling graph")
+    epoch: Optional[int] = None
+    if stream is not None:
+        calibration = stream.calibration
+        epoch = stream.epoch
     qubit_free = [0.0] * circuit.num_qubits
     # (start, end, qubits) of already-scheduled two-qubit gates.
     running_2q: List[Tuple[float, float, Tuple[int, ...]]] = []
@@ -159,7 +178,7 @@ def asap_schedule(
         for q in gate.qubits:
             qubit_free[q] = start + duration
     entries.sort(key=lambda e: e.start_ns)
-    return Schedule(entries, circuit)
+    return Schedule(entries, circuit, calibration_epoch=epoch)
 
 
 def _adjacent_pairs(qubits_a, qubits_b, coupling) -> bool:
@@ -212,12 +231,19 @@ def _defer_for_control(
 def alap_schedule(
     circuit: Circuit,
     calibration: Calibration = SURFACE17_CALIBRATION,
+    stream=None,
 ) -> Schedule:
     """As-late-as-possible schedule (gates sink towards the end).
 
     Computed by ASAP-scheduling the reversed gate list and mirroring the
-    time axis; latency equals the ASAP latency.
+    time axis; latency equals the ASAP latency.  ``stream`` pins the
+    current drift calibration and epoch exactly like
+    :func:`asap_schedule`.
     """
+    epoch: Optional[int] = None
+    if stream is not None:
+        calibration = stream.calibration
+        epoch = stream.epoch
     qubit_free = [0.0] * circuit.num_qubits
     reversed_entries: List[Tuple[Gate, float, float]] = []
     for gate in reversed(circuit.gates):
@@ -232,4 +258,4 @@ def alap_schedule(
         for gate, start, duration in reversed_entries
     ]
     entries.sort(key=lambda e: e.start_ns)
-    return Schedule(entries, circuit)
+    return Schedule(entries, circuit, calibration_epoch=epoch)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import pickle
+from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..circuit import Circuit, parse_qasm, to_qasm
@@ -33,9 +34,10 @@ from ..compiler import (
     TrivialPlacement,
     decompose_circuit,
 )
-from ..compiler.routing import Router, RoutingResult
+from ..compiler.routing import NoiseAwareRouter, Router, RoutingResult
 from ..core.interaction import InteractionGraph
 from ..core.metrics import BETWEENNESS_METRICS, compute_metrics, metrics_twin_deltas
+from ..hardware.drift import CalibrationStream, DriftPlan
 from ..metrics.fidelity import product_fidelity
 from .generator import FuzzSample
 
@@ -410,6 +412,87 @@ class QasmRoundTripInvariant(Invariant):
         return None
 
 
+class _PinnedTableRouter(NoiseAwareRouter):
+    """Noise-aware router forced onto one explicit distance table.
+
+    Bypasses the memoised cache entirely so a differential check can
+    route the *same* circuit against two independently produced tables
+    (incrementally migrated vs wholesale rebuilt) and compare outcomes.
+    """
+
+    def __init__(self, table, seed: Optional[int] = None) -> None:
+        super().__init__(seed=seed)
+        if table.flags.writeable:
+            table = table.copy()
+            table.setflags(write=False)
+        self._table = table
+
+    def _distance_matrix(self, device):
+        return self._table
+
+    def _build_distance_matrix(self, device):
+        return self._table
+
+
+class DriftReplayTwinInvariant(_RoutingMixin, Invariant):
+    """Incremental drift invalidation vs wholesale rebuild, bit for bit.
+
+    Replays a seeded :class:`~repro.hardware.drift.DriftPlan` against
+    the sample's device: after every update the incrementally migrated
+    noise distance table (only rows reachable through changed edges
+    recomputed) must be **byte-identical** to a from-scratch rebuild,
+    and routing the sample circuit against either table must emit the
+    same routed circuit.  One divergent float anywhere — a row the
+    flagging logic failed to invalidate — fails the sample.
+    """
+
+    name = "drift_replay_twin"
+
+    #: Updates replayed per sample; across a 200-sample block every
+    #: topology class sees dozens of distinct seeded traces.
+    num_updates = 2
+
+    def check(self, sample: FuzzSample) -> Optional[str]:
+        circuit, layout = self._prepare(sample)
+        device = sample.device
+        seed = _route_seed(sample)
+        plan = DriftPlan.generate(
+            device, num_updates=self.num_updates, seed=seed
+        )
+        stream = CalibrationStream(device.calibration)
+        router = NoiseAwareRouter(seed=seed)
+        incremental = router._build_distance_matrix(device)
+        wholesale = incremental
+        current = device
+        for step, delta in enumerate(plan.updates):
+            diff = stream.apply(delta)
+            drifted = replace(current, calibration=stream.calibration)
+            incremental, _, _ = router.refresh_distance_matrix(
+                current, drifted, incremental, diff.changed_edges
+            )
+            wholesale = router._build_distance_matrix(drifted)
+            if incremental.tobytes() != wholesale.tobytes():
+                bad = int((incremental != wholesale).sum())
+                return (
+                    f"distance tables diverge after update "
+                    f"{step + 1}/{len(plan)}: {bad} entries differ"
+                )
+            current = drifted
+        fast = _PinnedTableRouter(incremental, seed=seed).route(
+            circuit, current, layout.copy()
+        )
+        slow = _PinnedTableRouter(wholesale, seed=seed).route(
+            circuit, current, layout.copy()
+        )
+        if [(g.name, g.qubits) for g in fast.circuit] != [
+            (g.name, g.qubits) for g in slow.circuit
+        ]:
+            return "routed circuits diverge between drift-refreshed tables"
+        if fast.final_layout != slow.final_layout:
+            return "final layouts diverge between drift-refreshed tables"
+        return None
+
+
 # ---------------------------------------------------------------------------
 # Suite-level differential invariant (runs once per fuzz run)
 # ---------------------------------------------------------------------------
@@ -462,6 +545,7 @@ def default_bank(
         RelabelMetricsInvariant(),
         CommutationFidelityInvariant(),
         QasmRoundTripInvariant(),
+        DriftReplayTwinInvariant(router_factory),
     ]
 
 

@@ -38,6 +38,13 @@ from .device import (
     surface7_device,
 )
 from .config import device_from_json, device_to_json, load_device, save_device
+from .drift import (
+    CalibrationDelta,
+    CalibrationStream,
+    DriftDiff,
+    DriftPlan,
+    diff_calibrations,
+)
 from .registry import DEVICE_SPECS, resolve_device
 
 __all__ = [
@@ -58,6 +65,11 @@ __all__ = [
     "surface17",
     "surface_code_grid",
     "Calibration",
+    "CalibrationDelta",
+    "CalibrationStream",
+    "DriftDiff",
+    "DriftPlan",
+    "diff_calibrations",
     "IBM_FALCON_CALIBRATION",
     "IDEAL_CALIBRATION",
     "SURFACE17_CALIBRATION",

@@ -154,6 +154,29 @@ class Calibration:
         overrides[frozenset((a, b))] = error
         return replace(self, edge_errors=overrides)
 
+    def with_updates(
+        self,
+        edge_errors: "Dict[FrozenSet[int], float] | None" = None,
+        qubit_errors: "Dict[int, float] | None" = None,
+    ) -> "Calibration":
+        """Copy with a batch of per-edge/per-qubit overrides merged in.
+
+        The streaming-drift path (:mod:`repro.hardware.drift`) applies
+        each :class:`~repro.hardware.drift.CalibrationDelta` through this
+        method: existing overrides not named in the update are kept, and
+        the result is a fresh frozen calibration whose
+        :meth:`cache_key` reflects the new rates.
+        """
+        merged_edges = dict(self.edge_errors)
+        for key, value in (edge_errors or {}).items():
+            merged_edges[frozenset(key)] = value
+        merged_qubits = dict(self.qubit_errors)
+        for qubit, value in (qubit_errors or {}).items():
+            merged_qubits[int(qubit)] = value
+        return replace(
+            self, edge_errors=merged_edges, qubit_errors=merged_qubits
+        )
+
     def scaled(self, factor: float) -> "Calibration":
         """Copy with all error rates multiplied by ``factor`` (sweeps)."""
         clip = lambda e: min(0.999999, e * factor)  # noqa: E731

@@ -64,6 +64,7 @@ __all__ = [
     "attach_array",
     "retain",
     "release",
+    "release_many",
     "unlink",
     "attached_count",
     "created_segments",
@@ -268,6 +269,16 @@ def release(name: str) -> bool:
         if entry[1] > 0:
             return False
     return unlink(name)
+
+
+def release_many(names: Sequence[str]) -> int:
+    """Drop one reference on each named segment; returns unlink count.
+
+    Convenience for bulk retirement (service shutdown, prewarm
+    republish under calibration drift); names this process does not own
+    are skipped exactly like :func:`release`.
+    """
+    return sum(1 for name in names if release(name))
 
 
 def unlink(name: str) -> bool:

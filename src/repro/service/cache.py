@@ -38,22 +38,38 @@ def calibration_version(calibration: Calibration) -> str:
 
 
 class ResultKey(NamedTuple):
-    """Identity of one compiled artifact (all strings: JSON/pickle safe)."""
+    """Identity of one compiled artifact (scalars: JSON/pickle safe).
+
+    ``epoch`` is the calibration-stream epoch the request was admitted
+    under (0 when the device has no stream).  It rides in the key so a
+    job pinned at epoch N keeps hitting the entry it computed even
+    while drift moves the live calibration, and an identical request
+    after a drift *misses* and recompiles — epoch-pinning is exact, not
+    digest-coincidental.  The ``calibration`` digest stays in the key
+    too: it guards the payload's correctness (the bytes embed it), the
+    epoch guards admission-time identity.
+    """
 
     circuit: str
     device: str
     calibration: str
     mapper: str
+    epoch: int = 0
 
 
 def result_key(
-    circuit: Circuit, device_name: str, device: Device, mapper: str
+    circuit: Circuit,
+    device_name: str,
+    device: Device,
+    mapper: str,
+    epoch: int = 0,
 ) -> ResultKey:
     return ResultKey(
         circuit=circuit.content_hash(),
         device=device_name,
         calibration=calibration_version(device.calibration),
         mapper=mapper,
+        epoch=epoch,
     )
 
 

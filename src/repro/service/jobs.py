@@ -149,6 +149,13 @@ class Job:
         self.seq = seq
         self.request = request
         self.key = key
+        #: Device snapshot pinned at admission: every compute path for
+        #: this job (inline, pooled, crash recovery) uses exactly this
+        #: calibration, so drift applied mid-flight cannot leak into a
+        #: payload cached under the admission epoch's key.
+        self.device = None
+        #: Calibration-stream epoch at admission (0 without a stream).
+        self.epoch: int = 0
         self.submitted_s: float = 0.0
         self._done = threading.Event()
         self._response: Optional[CompileResponse] = None

@@ -26,14 +26,18 @@ inline and the worker respawned, and the client still gets an answer.
 
 from __future__ import annotations
 
+import pickle
 import queue as stdlib_queue
 import threading
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..circuit import Circuit
+from ..compiler.routing import NoiseAwareRouter, refresh_distance_caches
 from ..hardware import resolve_device
 from ..hardware.device import Device
+from ..hardware.drift import CalibrationDelta, CalibrationStream, DriftDiff
 from ..runtime import shm
 from ..telemetry import metrics as telemetry_metrics
 from ..telemetry import tracing
@@ -91,6 +95,16 @@ class CompilationService:
         self._inflight: Dict[int, Job] = {}
         self._assigned: Dict[int, int] = {}
         self._pending: Dict[ResultKey, List[Job]] = {}
+        # Streaming calibration drift: one stream per device spec, plus
+        # a lock serialising drift application against admission — a
+        # submit snapshots (device, epoch) atomically, so a job can
+        # never pair epoch N with epoch N+1's calibration.
+        self._streams: Dict[str, CalibrationStream] = {}
+        self._drift_lock = threading.Lock()
+        self.drift_updates_total = 0
+        self.drift_rows_recomputed_total = 0
+        self.drift_tables_refreshed_total = 0
+        self.drift_wholesale_rebuilds_total = 0
         self.requests_total = 0
         self.coalesced_total = 0
         self.recovered_total = 0
@@ -161,8 +175,7 @@ class CompilationService:
         # Unlink the published prewarm segments.  Workers that are
         # still unwinding keep their existing mappings (POSIX unlink
         # only removes the name), so ordering is not delicate here.
-        for name in self._shm_segments:
-            shm.release(name)
+        shm.release_many(self._shm_segments)
         self._shm_segments = []
         # Anything still unresolved loses its service; say so.
         with self._state_lock:
@@ -188,11 +201,21 @@ class CompilationService:
         if not self._running:
             raise ServiceError("service is not running")
         request.validate()
-        device = self._device(request.device)
-        key = result_key(request.circuit, request.device, device, request.mapper)
+        self._device(request.device)  # resolve + create the stream
+        with self._drift_lock:
+            # Atomic admission snapshot: the device (with its current
+            # drifted calibration) and the stream epoch, taken together.
+            device = self._devices[request.device]
+            stream = self._streams.get(request.device)
+            epoch = stream.epoch if stream is not None else 0
+        key = result_key(
+            request.circuit, request.device, device, request.mapper, epoch=epoch
+        )
         with self._seq_lock:
             self._seq += 1
             job = Job(self._seq, request, key)
+        job.device = device
+        job.epoch = epoch
         job.submitted_s = time.perf_counter()
         self.queue.push(job)
         self.requests_total += 1
@@ -209,7 +232,103 @@ class CompilationService:
             except ValueError as exc:
                 raise ServiceError(str(exc)) from exc
             self._devices[spec] = device
+        if spec not in self._streams:
+            self._streams[spec] = CalibrationStream(
+                device.calibration, name=spec
+            )
         return device
+
+    # -- streaming calibration drift -----------------------------------
+    def calibration_epoch(self, device: str = "surface17") -> int:
+        """Current drift epoch of one device's calibration stream."""
+        stream = self._streams.get(device)
+        return stream.epoch if stream is not None else 0
+
+    def apply_drift(
+        self, delta: CalibrationDelta, device: str = "surface17"
+    ) -> DriftDiff:
+        """Apply one streaming calibration update to a served device.
+
+        Under the drift lock (so no admission can interleave): bumps the
+        device's stream epoch, swaps in the drifted device, migrates the
+        parent's cached noise distance table incrementally (only rows
+        reachable through changed edges recompute — see
+        :func:`repro.compiler.routing.refresh_distance_caches`),
+        republishes the zero-copy prewarm tables when the pool attaches
+        them, and broadcasts the diff to every live worker.  Jobs
+        admitted before the call keep their pinned epoch-N device;
+        jobs admitted after compile at N+1 under a fresh cache key.
+        """
+        if not self._running:
+            raise ServiceError("service is not running")
+        self._device(device)
+        with self._drift_lock:
+            stream = self._streams[device]
+            old_device = self._devices[device]
+            diff = stream.apply(delta)
+            new_device = replace(old_device, calibration=stream.calibration)
+            # Migrates the parent's cached noise table when present
+            # (prewarmed inline mode, zero-copy publish); a pool-mode
+            # parent that never built one just lets the next inline
+            # compute (crash recovery) build lazily under the new key.
+            refresh = refresh_distance_caches(old_device, new_device, diff)
+            self._devices[device] = new_device
+            self.drift_updates_total += 1
+            self.drift_tables_refreshed_total += refresh.tables_refreshed
+            self.drift_rows_recomputed_total += refresh.rows_recomputed
+            self.drift_wholesale_rebuilds_total += refresh.wholesale_rebuilds
+            refs = None
+            if (
+                self._pool is not None
+                and self._pool.shm_tables is not None
+                and device in self._pool.shm_tables
+                and shm.is_available()
+            ):
+                refs = self._republish_prewarm(device, new_device)
+            if self._pool is not None:
+                self._pool.broadcast_drift(
+                    device, new_device.calibration, diff, refs
+                )
+        return diff
+
+    def _republish_prewarm(self, spec: str, device: Device) -> dict:
+        """Publish fresh noise/calibration segments for a drifted spec.
+
+        The hop matrix and incident table depend only on the coupling
+        graph, so their segments are reused; the noise matrix and the
+        calibration blob are republished and the stale segments
+        unlinked.  Workers holding views of the old noise table keep
+        them (POSIX unlink removes the name, not live mappings) — those
+        views stay seeded under the *old* cache key, which epoch-pinned
+        jobs still legitimately resolve.  Workers respawned after this
+        point attach the new refs; if a respawn races the unlink it
+        falls back to a local rebuild.
+        """
+        assert self._pool is not None and self._pool.shm_tables is not None
+        old_refs = self._pool.shm_tables[spec]
+        noise = NoiseAwareRouter()._distance_matrix(device)
+        noise_ref = shm.publish_array(noise)
+        _, (calibration_ref,) = shm.publish_bytes(
+            [pickle.dumps(device.calibration, protocol=pickle.HIGHEST_PROTOCOL)]
+        )
+        refs = dict(old_refs)
+        refs["noise"] = noise_ref
+        refs["calibration"] = calibration_ref
+        self._shm_segments.extend(
+            (noise_ref.segment, calibration_ref.segment)
+        )
+        stale = [old_refs["noise"].segment]
+        old_calibration = old_refs.get("calibration")
+        if (
+            old_calibration is not None
+            and old_calibration.segment != old_refs["incident"].segment
+        ):
+            stale.append(old_calibration.segment)
+        shm.release_many(stale)
+        for name in stale:
+            if name in self._shm_segments:
+                self._shm_segments.remove(name)
+        return refs
 
     # -- dispatcher ----------------------------------------------------
     def _dispatch_loop(self) -> None:
@@ -262,7 +381,15 @@ class CompilationService:
             self._inflight[job.seq] = job
             self._assigned[worker_id] = job.seq
         try:
-            self._pool.submit(worker_id, job.seq, job.request)
+            self._pool.submit(
+                worker_id,
+                job.seq,
+                job.request,
+                calibration=(
+                    job.device.calibration if job.device is not None else None
+                ),
+                epoch=job.epoch,
+            )
         except KeyError:  # pragma: no cover - respawn race guard
             with self._state_lock:
                 self._inflight.pop(job.seq, None)
@@ -271,9 +398,17 @@ class CompilationService:
 
     # -- completion ----------------------------------------------------
     def _compute_here(self, job: Job, served_by: str) -> None:
-        """Inline compile (dispatcher thread, or crash recovery)."""
+        """Inline compile (dispatcher thread, or crash recovery).
+
+        Uses the device snapshot pinned at admission, *not* the live
+        device — drift applied while the job sat in the queue must not
+        leak into a payload cached under the admission epoch's key.
+        """
+        device = job.device
+        if device is None:  # jobs constructed outside submit() (tests)
+            device = self._device(job.request.device)
         try:
-            payload = compute_payload(job.request, self._device(job.request.device))
+            payload = compute_payload(job.request, device)
         except Exception as exc:  # noqa: BLE001 - reported on the job
             self._finish_error(job, f"{type(exc).__name__}: {exc}")
             return
@@ -385,6 +520,16 @@ class CompilationService:
             "coalesced": self.coalesced_total,
             "recovered": self.recovered_total,
             "failed": self.failed_total,
+            "drift": {
+                "epochs": {
+                    spec: stream.epoch
+                    for spec, stream in self._streams.items()
+                },
+                "updates": self.drift_updates_total,
+                "tables_refreshed": self.drift_tables_refreshed_total,
+                "rows_recomputed": self.drift_rows_recomputed_total,
+                "wholesale_rebuilds": self.drift_wholesale_rebuilds_total,
+            },
             "queue": self.queue.stats(),
             "cache": self.cache.stats(),
         }

@@ -43,6 +43,7 @@ import multiprocessing
 import os
 import pickle
 import time
+from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuit.gates import Gate, gate_matrix
@@ -50,6 +51,7 @@ from ..compiler.routing import (
     NoiseAwareRouter,
     SabreRouter,
     _incident_edges,
+    refresh_distance_caches,
     seed_distance_cache,
     seed_incident_cache,
 )
@@ -120,13 +122,24 @@ def publish_prewarm_tables(
         incident = _incident_edges(device.coupling)
         hop_ref = shm.publish_array(hop)
         noise_ref = shm.publish_array(noise)
-        _, (incident_ref,) = shm.publish_bytes(
-            [pickle.dumps(incident, protocol=pickle.HIGHEST_PROTOCOL)]
+        _, (incident_ref, calibration_ref) = shm.publish_bytes(
+            [
+                pickle.dumps(incident, protocol=pickle.HIGHEST_PROTOCOL),
+                pickle.dumps(
+                    device.calibration, protocol=pickle.HIGHEST_PROTOCOL
+                ),
+            ]
         )
         tables[spec] = {
             "hop": hop_ref,
             "noise": noise_ref,
             "incident": incident_ref,
+            # The calibration the noise table was built under.  A worker
+            # spawned *after* a drift resolves the registry's pristine
+            # device, so attach must rebind the published calibration
+            # before computing cache keys — otherwise the drifted table
+            # would be seeded under a stale key and never found.
+            "calibration": calibration_ref,
         }
         segments.extend(
             (hop_ref.segment, noise_ref.segment, incident_ref.segment)
@@ -144,8 +157,16 @@ def attach_prewarm_tables(
     seeds this process's routing caches, so the subsequent
     :func:`prewarm` call hits warm entries instead of re-running
     all-pairs shortest paths.  A vanished segment (publisher crashed,
-    already unlinked) just skips that device — :func:`prewarm` rebuilds
-    the tables locally.
+    already unlinked, or republished under calibration drift) just
+    skips that device — :func:`prewarm` rebuilds the tables locally, so
+    no worker ever routes against a stale view.
+
+    When a ref set carries a ``"calibration"`` entry (the calibration
+    the published noise table was built under), the device in
+    ``devices`` is rebound to it *before* cache keys are computed — a
+    worker respawned after a drift therefore seeds the drifted table
+    under the drifted key instead of mis-filing it under the registry's
+    pristine calibration.
     """
     seeded = 0
     for spec, refs in tables.items():
@@ -153,6 +174,12 @@ def attach_prewarm_tables(
         if device is None:
             continue
         try:
+            calibration_ref = refs.get("calibration")
+            if calibration_ref is not None:
+                calibration = pickle.loads(shm.read_bytes(calibration_ref))
+                if calibration != device.calibration:
+                    device = replace(device, calibration=calibration)
+                    devices[spec] = device
             hop = shm.attach_array(refs["hop"])
             noise = shm.attach_array(refs["noise"])
             incident = pickle.loads(shm.read_bytes(refs["incident"]))
@@ -191,13 +218,53 @@ def compute_payload(request: CompileRequest, device: Device) -> bytes:
     return build_payload(key, _record(benchmark, result), info)
 
 
+def _apply_worker_drift(devices, spec, calibration, diff, refs) -> None:
+    """Migrate one worker's state across a calibration drift.
+
+    Preference order: attach the parent's republished shm noise table
+    (zero-copy, zero compute); failing that, migrate the locally cached
+    table incrementally through :func:`refresh_distance_caches`; the
+    final ``_distance_matrix`` call is a memoised no-op when either
+    path landed and a wholesale local rebuild when neither did — a
+    worker therefore *never* keeps routing new-epoch jobs against a
+    stale view, only ever pays at most one rebuild.
+    """
+    base = devices.get(spec)
+    if base is None:
+        return
+    new_device = replace(base, calibration=calibration)
+    if refs is not None:
+        try:
+            noise = shm.attach_array(refs["noise"])
+            seed_distance_cache(
+                NoiseAwareRouter()._distance_cache_key(new_device), noise
+            )
+        except (shm.ShmUnavailable, ValueError, KeyError):
+            pass  # republished segment already gone; fall through
+    refresh_distance_caches(base, new_device, diff)
+    NoiseAwareRouter()._distance_matrix(new_device)
+    devices[spec] = new_device
+
+
 def _worker_main(worker_id, device_specs, tasks, results, shm_tables=None) -> None:
     """Process entry point: prewarm, then serve tasks until ``None``.
 
-    Tasks arrive as pre-pickled ``(job_seq, request)`` blobs — the
-    parent pickles exactly once (with timing/size telemetry) and the
-    queue ships opaque bytes, so dispatch serialization cost is both
-    measured and paid in one place.
+    Tasks arrive as pre-pickled tagged blobs — the parent pickles
+    exactly once (with timing/size telemetry) and the queue ships
+    opaque bytes, so dispatch serialization cost is both measured and
+    paid in one place:
+
+    ``("job", job_seq, request, calibration, epoch)``
+        One compile.  ``calibration`` is the admission-epoch snapshot
+        the parent pinned on the job; the worker compiles against *it*,
+        not its own device state, so a job is correct even when the
+        matching drift message is still behind it in the queue (or
+        never arrived — respawned workers see no history).
+    ``("drift", spec, calibration, diff, refs)``
+        A calibration-stream update: rebind the device and migrate the
+        local distance caches (see :func:`_apply_worker_drift`).
+    ``None``
+        Shutdown sentinel.
     """
     devices = {spec: resolve_device(spec) for spec in device_specs}
     if shm_tables:
@@ -208,13 +275,20 @@ def _worker_main(worker_id, device_specs, tasks, results, shm_tables=None) -> No
         task = tasks.get()
         if task is None:
             break
-        job_seq, request = pickle.loads(task)
+        message = pickle.loads(task)
+        if message[0] == "drift":
+            _, spec, calibration, diff, refs = message
+            _apply_worker_drift(devices, spec, calibration, diff, refs)
+            continue
+        _, job_seq, request, calibration, epoch = message
         try:
             device = devices.get(request.device)
             if device is None:
                 device = devices[request.device] = resolve_device(
                     request.device
                 )
+            if calibration is not None and calibration != device.calibration:
+                device = replace(device, calibration=calibration)
             payload = compute_payload(request, device)
             results.put(("done", worker_id, job_seq, payload, None))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
@@ -291,19 +365,32 @@ class WarmWorkerPool:
         self._tasks.clear()
 
     # -- dispatch ------------------------------------------------------
-    def submit(self, worker_id: int, job_seq: int, request: CompileRequest) -> None:
+    def submit(
+        self,
+        worker_id: int,
+        job_seq: int,
+        request: CompileRequest,
+        calibration=None,
+        epoch: int = 0,
+    ) -> None:
         """Hand one job to one specific worker (raises ``KeyError`` if
         that worker was respawned away in the meantime).
 
-        The task is pickled here — once, parent-side — so the dispatch
-        payload size and serialization time are observable
-        (``payload_bytes{path="service_dispatch"}``,
+        ``calibration``/``epoch`` are the admission-time snapshot the
+        service pinned on the job; shipping them with every job makes
+        worker compute independent of drift-message delivery order (and
+        of respawn history).  The task is pickled here — once,
+        parent-side — so the dispatch payload size and serialization
+        time are observable (``payload_bytes{path="service_dispatch"}``,
         ``serialized_bytes_total`` / ``serialization_seconds_total``)
         instead of hidden inside the queue's feeder thread.
         """
         task_queue = self._tasks[worker_id]
         start = time.perf_counter()
-        blob = pickle.dumps((job_seq, request), protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(
+            ("job", job_seq, request, calibration, epoch),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         self.dispatch_bytes_total += len(blob)
         if tracing.is_enabled():
             telemetry_metrics.histogram(
@@ -320,6 +407,34 @@ class WarmWorkerPool:
                 stage="pickle",
             ).inc(time.perf_counter() - start)
         task_queue.put(blob)
+
+    def broadcast_drift(self, spec: str, calibration, diff, refs=None) -> int:
+        """Fan a calibration-drift notice out to every live worker.
+
+        ``refs`` is the republished shm ref set for ``spec`` (or
+        ``None`` when the pool runs by-value); it also replaces the
+        spec's entry in :attr:`shm_tables` so workers respawned *after*
+        the drift attach the fresh tables rather than the unlinked old
+        ones.  Returns the number of workers notified.  Per-worker
+        queues are FIFO, so a drift notice never overtakes a job
+        dispatched before it — and jobs carry their own pinned
+        calibration anyway.
+        """
+        if refs is not None:
+            if self.shm_tables is None:
+                self.shm_tables = {}
+            self.shm_tables[spec] = refs
+        blob = pickle.dumps(
+            ("drift", spec, calibration, diff, refs),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        notified = 0
+        for worker_id, task_queue in self._tasks.items():
+            if not self.is_alive(worker_id):
+                continue
+            task_queue.put(blob)
+            notified += 1
+        return notified
 
     def is_alive(self, worker_id: int) -> bool:
         proc = self._procs.get(worker_id)

@@ -401,7 +401,11 @@ class TestZeroCopyService:
         device = resolve_device(DEVICE)
         tables, segments = publish_prewarm_tables({DEVICE: device})
         try:
-            assert set(tables[DEVICE]) == {"hop", "noise", "incident"}
+            assert set(tables[DEVICE]) == {
+                "hop", "noise", "incident", "calibration",
+            }
+            # The calibration blob shares the incident table's segment,
+            # so the segment count stays at three.
             assert len(segments) == 3
             # A cold process would seed all three caches from the
             # attached views; simulate that by clearing ours first.

@@ -1,0 +1,255 @@
+"""Streaming calibration drift through the serving layer.
+
+Pins the epoch semantics of ``CompilationService.apply_drift``: jobs
+admitted at epoch N resolve with epoch-N payload bytes even when drift
+lands mid-flight, the next identical request misses the cache and
+recompiles under the N+1 calibration, hit/miss counters stay exact,
+worker counts stay byte-identical across a drifting request stream, and
+the zero-copy prewarm segments are republished (old ones unlinked)
+without ever leaking or serving a stale view — including when a worker
+is SIGKILLed while the republish happens.
+"""
+
+import pytest
+
+from repro.hardware import resolve_device
+from repro.hardware.drift import CalibrationDelta
+from repro.runtime import shm
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    ResultKey,
+    ServiceClient,
+    ServiceError,
+    build_corpus,
+    calibration_version,
+    result_key,
+)
+
+DEVICE = "surface7"
+# (0, 2) is a coupling edge of surface7; a modest increase keeps the
+# cheapest edge (and hence the cost scale) unchanged, so the parent's
+# table refresh can stay incremental.
+DELTA = CalibrationDelta.of(edge_errors={(0, 2): 0.03})
+SECOND_DELTA = CalibrationDelta.of(edge_errors={(1, 4): 0.04})
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(6, seed=3, min_qubits=4, max_qubits=6)
+
+
+def _payload_calibration(response) -> str:
+    return response.to_dict()["key"]["calibration"]
+
+
+class TestEpochKeying:
+    def test_epoch_defaults_to_zero(self):
+        # Pre-drift call sites (and cached pickles) build 4-field keys;
+        # they must keep meaning "epoch 0".
+        key = ResultKey(circuit="c", device="d", calibration="v", mapper="m")
+        assert key.epoch == 0
+
+    def test_result_key_threads_epoch(self, corpus):
+        device = resolve_device(DEVICE)
+        base = result_key(corpus[0], DEVICE, device, "sabre")
+        bumped = result_key(corpus[0], DEVICE, device, "sabre", epoch=3)
+        assert base.epoch == 0 and bumped.epoch == 3
+        # Same digest, different epoch: still distinct cache rows.
+        assert base.calibration == bumped.calibration
+        assert base != bumped
+
+    def test_apply_drift_requires_running_service(self):
+        service = CompilationService(workers=0, devices=(DEVICE,))
+        with pytest.raises(ServiceError, match="not running"):
+            service.apply_drift(DELTA, device=DEVICE)
+
+
+class TestEpochPinning:
+    @pytest.mark.parametrize("workers", [0, 1, 4])
+    def test_drift_invalidates_cache_with_exact_counters(
+        self, corpus, workers
+    ):
+        with CompilationService(workers=workers, devices=(DEVICE,)) as service:
+            client = ServiceClient(service)
+            first = client.compile(corpus[0], device=DEVICE, timeout=120.0)
+            repeat = client.compile(corpus[0], device=DEVICE, timeout=120.0)
+            epoch0_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+            diff = service.apply_drift(DELTA, device=DEVICE)
+            assert diff.epoch == 1 and not diff.empty
+            assert service.calibration_epoch(DEVICE) == 1
+            # The identical request now *misses* (epoch is in the key)
+            # and recompiles under the drifted calibration.
+            drifted = client.compile(corpus[0], device=DEVICE, timeout=120.0)
+            drifted_repeat = client.compile(
+                corpus[0], device=DEVICE, timeout=120.0
+            )
+            drifted_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+            stats = service.stats()
+        assert not first.cached and repeat.cached
+        assert not drifted.cached and drifted_repeat.cached
+        assert _payload_calibration(first) == epoch0_version
+        assert _payload_calibration(drifted) == drifted_version
+        assert drifted_version != epoch0_version
+        assert drifted.payload != first.payload
+        assert drifted_repeat.payload == drifted.payload
+        assert service.cache.hits == 2 and service.cache.misses == 2
+        assert stats["drift"]["epochs"][DEVICE] == 1
+        assert stats["drift"]["updates"] == 1
+
+    def test_mid_flight_drift_returns_admission_epoch_payload(self, corpus):
+        with CompilationService(workers=0, devices=(DEVICE,)) as service:
+            clean = ServiceClient(service).compile(
+                corpus[1], device=DEVICE, timeout=120.0
+            )
+        with CompilationService(workers=1, devices=(DEVICE,)) as service:
+            client = ServiceClient(service)
+            # The kill fault takes the worker down mid-compute; the
+            # drift lands while the job is in flight.  The recovery
+            # compute must use the *pinned* epoch-0 device, not the
+            # drifted live one.
+            job = service.submit(
+                CompileRequest(
+                    circuit=corpus[1],
+                    device=DEVICE,
+                    priority="interactive",
+                    faults="kill@0",
+                )
+            )
+            service.apply_drift(DELTA, device=DEVICE)
+            faulted = job.result(timeout=120.0)
+            # The next identical request misses and compiles at N+1.
+            follow_up = client.compile(corpus[1], device=DEVICE, timeout=120.0)
+            drifted_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+        assert faulted.payload == clean.payload
+        assert not follow_up.cached
+        assert _payload_calibration(follow_up) == drifted_version
+        assert follow_up.payload != clean.payload
+
+    def test_worker_counts_byte_identical_across_drift(self, corpus):
+        # Two request waves with a drift update between them: every
+        # worker count (and the zero-copy path) must produce the same
+        # payload bytes for both waves.
+        wave = [
+            CompileRequest(circuit=circuit, device=DEVICE)
+            for circuit in corpus[:4]
+        ]
+        streams = {}
+        for workers, zero_copy in ((0, False), (2, False), (2, True)):
+            with CompilationService(
+                workers=workers, devices=(DEVICE,), zero_copy=zero_copy
+            ) as service:
+                client = ServiceClient(service)
+                before = [
+                    r.payload
+                    for r in client.compile_many(wave, timeout=120.0)
+                ]
+                service.apply_drift(DELTA, device=DEVICE)
+                after = [
+                    r.payload
+                    for r in client.compile_many(wave, timeout=120.0)
+                ]
+            streams[(workers, zero_copy)] = (before, after)
+        baseline = streams[(0, False)]
+        assert baseline[0] != baseline[1]  # drift actually changed them
+        for key, payloads in streams.items():
+            assert payloads == baseline, f"divergence at {key}"
+        assert not shm.created_segments()
+
+
+class TestZeroCopyDrift:
+    def _require_shm(self):
+        if not shm.is_available():
+            pytest.skip("no shared memory on this platform")
+
+    def test_republish_retires_stale_segments(self, corpus):
+        self._require_shm()
+        with CompilationService(
+            workers=1, devices=(DEVICE,), zero_copy=True
+        ) as service:
+            # hop + noise + incident (calibration shares incident's
+            # segment) published at start.
+            assert len(shm.created_segments()) == 3
+            service.apply_drift(DELTA, device=DEVICE)
+            # New noise + new calibration published; the old noise
+            # segment is unlinked (the old calibration blob shares the
+            # still-live incident segment): 3 - 1 + 2.
+            assert len(shm.created_segments()) == 4
+            service.apply_drift(SECOND_DELTA, device=DEVICE)
+            # Steady state: each further drift retires the previous
+            # noise + calibration segments and publishes two fresh ones.
+            assert len(shm.created_segments()) == 4
+            response = ServiceClient(service).compile(
+                corpus[2], device=DEVICE, timeout=120.0
+            )
+            drifted_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+            assert _payload_calibration(response) == drifted_version
+        # stop() released everything that was still published.
+        assert not shm.created_segments()
+
+    def test_respawned_worker_attaches_post_drift_tables(self, corpus):
+        self._require_shm()
+        with CompilationService(
+            workers=1, devices=(DEVICE,), zero_copy=True
+        ) as service:
+            client = ServiceClient(service)
+            service.apply_drift(DELTA, device=DEVICE)
+            # Kill the worker *after* the drift: the respawn must attach
+            # the republished tables (or rebuild locally) and then serve
+            # post-drift requests with the drifted calibration.
+            faulted = client.compile(
+                corpus[3],
+                device=DEVICE,
+                priority="interactive",
+                faults="kill@0",
+                timeout=120.0,
+            )
+            assert service.recovered_total == 1
+            follow_up = client.compile(corpus[4], device=DEVICE, timeout=120.0)
+            drifted_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+        assert faulted.served_by == "recovery"
+        assert follow_up.served_by.startswith("worker-")
+        assert _payload_calibration(faulted) == drifted_version
+        assert _payload_calibration(follow_up) == drifted_version
+        assert not shm.created_segments()
+
+    def test_kill_during_republish_recovers_with_pinned_epoch(self, corpus):
+        self._require_shm()
+        with CompilationService(workers=0, devices=(DEVICE,)) as service:
+            clean = ServiceClient(service).compile(
+                corpus[5], device=DEVICE, timeout=120.0
+            )
+        with CompilationService(
+            workers=1, devices=(DEVICE,), zero_copy=True
+        ) as service:
+            client = ServiceClient(service)
+            # The worker dies on the job while the parent republishes
+            # the prewarm tables; the respawned worker races the unlink
+            # of the old noise segment and must fall back cleanly.
+            job = service.submit(
+                CompileRequest(
+                    circuit=corpus[5],
+                    device=DEVICE,
+                    priority="interactive",
+                    faults="kill@0",
+                )
+            )
+            service.apply_drift(DELTA, device=DEVICE)
+            faulted = job.result(timeout=120.0)
+            follow_up = client.compile(corpus[0], device=DEVICE, timeout=120.0)
+            drifted_version = calibration_version(
+                service._devices[DEVICE].calibration
+            )
+        assert faulted.payload == clean.payload
+        assert _payload_calibration(follow_up) == drifted_version
+        assert not shm.created_segments()
