@@ -5,7 +5,7 @@ PY ?= python
 
 .PHONY: test bench-routing bench-sim bench-smoke bench-figures fuzz-smoke \
 	trace-smoke resilience-smoke service-smoke bench-service \
-	zerocopy-smoke bench-zerocopy drift-smoke
+	zerocopy-smoke bench-zerocopy drift-smoke chaos-smoke bench-chaos
 
 # Tier-1 test suite.
 test:
@@ -90,6 +90,24 @@ zerocopy-smoke:
 # outputs) is met.
 bench-zerocopy:
 	PYTHONPATH=src $(PY) benchmarks/bench_zero_copy.py
+
+# Chaos smoke gate: first the planted-violation self-test (a corrupted
+# twin payload must be reported, proving the checker can fail), then a
+# seeded composed soak (2 worker kills, 1 watchdog-detected hang,
+# 1 poison-job quarantine, a 3-delta drift burst, 1 shm unlink and an
+# admission-pressure wave over 12 waves) with every invariant green —
+# resolve-or-quarantine, byte-identity vs the fault-free twin, exact
+# cache counters, epoch pinning, pool recovery, zero leaked segments —
+# and finally a graceful-drain drill (queued jobs journaled to JSONL,
+# typed ServiceDraining rejection).
+chaos-smoke:
+	PYTHONPATH=src $(PY) benchmarks/bench_chaos.py --smoke
+
+# Full chaos soak at workers 1 and 4 plus the drain drill; rewrites the
+# committed BENCH_chaos.json (events landed, respawns, invariant
+# checks, wall times).
+bench-chaos:
+	PYTHONPATH=src $(PY) benchmarks/bench_chaos.py
 
 # The paper-figure benchmark harness (slow; full 200-circuit sweep).
 bench-figures:

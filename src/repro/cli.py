@@ -9,6 +9,7 @@ The subcommands mirror the library's main workflows::
     repro suite    <directory> --num 20     # generate a QASM benchmark corpus
     repro run      <directory> --journal j.jsonl [--resume]  # fault-tolerant run
     repro serve    --workers 2 --requests 200  # compilation service + load
+    repro chaos    --waves 12 --wave-size 6 # seeded chaos soak + invariants
     repro reproduce [--full]                # regenerate the paper's figures
     repro fuzz     --samples 200 [--faults] # differential fuzz the mapping stack
 
@@ -18,6 +19,7 @@ Every subcommand is also reachable as ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -333,8 +335,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .runtime import workers_from_env
-    from .service import CompilationService
+    from .service import CompilationService, install_drain_handlers
     from .service.loadgen import build_corpus, drive, generate_requests
 
     workers = args.workers
@@ -359,7 +363,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     with CompilationService(
         workers=workers, devices=(args.device,), cache_capacity=args.cache
     ) as service:
-        report = drive(service, requests, wave_size=args.wave)
+        previous = install_drain_handlers(
+            service, journal=args.drain_journal
+        )
+        try:
+            report = drive(service, requests, wave_size=args.wave)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
     summary = report.summary()
     print(
         f"requests:   {summary['requests']} "
@@ -382,6 +393,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{summary['failed']} failed"
     )
     return 1 if summary["failed"] else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import ChaosPlan, ChaosRunner, run_selftest
+
+    if args.self_test:
+        report = run_selftest(device=args.device, workers=1, seed=args.seed)
+        print("self-test: planted payload corruption was caught")
+        print(report.format())
+        return 0
+    plan = ChaosPlan.generate(
+        device=args.device,
+        seed=args.seed,
+        waves=args.waves,
+        wave_size=args.wave_size,
+        kills=args.kills,
+        hangs=args.hangs,
+        poisons=args.poisons,
+        drifts=args.drifts,
+        unlinks=args.unlinks,
+        pressures=args.pressures,
+    )
+    print(f"chaos plan: {plan.describe()}", file=sys.stderr)
+    runner = ChaosRunner(
+        plan,
+        device=args.device,
+        workers=args.workers,
+        heartbeat_budget_s=args.heartbeat_budget,
+        raise_on_violation=False,
+    )
+    report = runner.run()
+    print(report.format())
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {path}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -671,7 +722,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="inject a fault on the first request, e.g. 'kill@0' (drill)",
     )
+    serve.add_argument(
+        "--drain-journal",
+        default=None,
+        help="JSONL path for queued jobs journaled on SIGTERM/SIGINT "
+        "graceful drain (default: alongside the CWD)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="seeded chaos soak: composed kill/hang/poison/drift/unlink/"
+        "pressure faults against a live service, end-to-end invariants "
+        "checked against a fault-free twin",
+    )
+    chaos.add_argument(
+        "--device",
+        default="surface7",
+        help="surface7|surface17|surface100|surface:N|line:N|grid:RxC",
+    )
+    chaos.add_argument("-j", "--workers", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=2022)
+    chaos.add_argument("--waves", type=int, default=12)
+    chaos.add_argument("--wave-size", type=int, default=6)
+    chaos.add_argument("--kills", type=int, default=2)
+    chaos.add_argument("--hangs", type=int, default=1)
+    chaos.add_argument("--poisons", type=int, default=1)
+    chaos.add_argument("--drifts", type=int, default=1)
+    chaos.add_argument("--unlinks", type=int, default=1)
+    chaos.add_argument("--pressures", type=int, default=1)
+    chaos.add_argument(
+        "--heartbeat-budget",
+        type=float,
+        default=1.0,
+        help="watchdog hang-detection budget in seconds",
+    )
+    chaos.add_argument(
+        "--self-test",
+        action="store_true",
+        help="plant a payload corruption and verify the checker reports it",
+    )
+    chaos.add_argument("--json", default=None, help="write the report as JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     report = commands.add_parser(
         "report", help="map a QASM corpus and write a markdown report"

@@ -154,6 +154,29 @@ class FaultPlan:
         """Specs that would fire at these coordinates (no side effects)."""
         return [s for s in self.specs if s.matches(index, stage, attempt)]
 
+    def offset_attempts(self, base: int) -> "FaultPlan":
+        """The plan as seen after ``base`` prior dispatch incidents.
+
+        The service re-dispatches a job whose worker died (kill fault,
+        injected hang, real crash); the replacement process restarts its
+        attempt numbering at zero, so without an offset a ``kill@0xN``
+        fault would fire forever and the job could never converge.
+        Each spec's remaining budget is reduced by ``base`` and specs
+        whose budget is exhausted drop out entirely — the pure-data
+        transformation that makes crash recovery a deterministic replay
+        of "the same plan, ``base`` firings later".
+        """
+        if base <= 0:
+            return self
+        from dataclasses import replace as _replace
+
+        specs = tuple(
+            _replace(spec, attempts=spec.attempts - base)
+            for spec in self.specs
+            if spec.attempts > base
+        )
+        return _replace(self, specs=specs)
+
     def describe(self) -> str:
         if not self.specs:
             return "no faults"

@@ -68,6 +68,7 @@ __all__ = [
     "unlink",
     "attached_count",
     "created_segments",
+    "leaked_segments",
     "detach_all",
     "cleanup_all",
 ]
@@ -319,6 +320,24 @@ def created_segments() -> List[str]:
     """Names of live segments owned by this process."""
     with _LOCK:
         return sorted(_CREATED)
+
+
+def leaked_segments() -> List[str]:
+    """Segments with this module's name prefix visible on the host.
+
+    Scans ``/dev/shm`` (the POSIX shared-memory mount on Linux) for
+    ``repro-shm-*`` names — *any* process's, not just this one's — so a
+    chaos run can assert that killing workers mid-publish and unlinking
+    segments under load left nothing behind.  Returns an empty list on
+    platforms without a scannable mount; the leak invariant is then
+    checked against :func:`created_segments` alone.
+    """
+    mount = "/dev/shm"
+    try:
+        names = os.listdir(mount)
+    except OSError:  # pragma: no cover - non-Linux platform
+        return []
+    return sorted(n for n in names if n.startswith(_SEGMENT_PREFIX + "-"))
 
 
 def detach_all() -> int:

@@ -28,11 +28,17 @@ from .jobs import (
     CompileRequest,
     CompileResponse,
     Job,
+    ServiceDraining,
     ServiceError,
 )
 from .loadgen import LoadReport, build_corpus, drive, generate_requests
 from .queue import DEFAULT_CLASS_LIMITS, AdmissionError, JobQueue
-from .service import CompilationService, ServiceClient
+from .service import (
+    CompilationService,
+    DrainReport,
+    ServiceClient,
+    install_drain_handlers,
+)
 from .workers import (
     WarmWorkerPool,
     attach_prewarm_tables,
@@ -51,6 +57,7 @@ __all__ = [
     "CompileRequest",
     "CompileResponse",
     "DEFAULT_CLASS_LIMITS",
+    "DrainReport",
     "Job",
     "JobQueue",
     "MAPPERS",
@@ -58,11 +65,13 @@ __all__ = [
     "ResultCache",
     "ResultKey",
     "ServiceClient",
+    "ServiceDraining",
     "ServiceError",
     "WarmWorkerPool",
     "attach_prewarm_tables",
     "calibration_version",
     "compute_payload",
+    "install_drain_handlers",
     "prewarm",
     "publish_prewarm_tables",
     "result_key",

@@ -25,6 +25,7 @@ __all__ = [
     "PRIORITY_CLASSES",
     "MAPPERS",
     "ServiceError",
+    "ServiceDraining",
     "CompileRequest",
     "CompileResponse",
     "Job",
@@ -48,6 +49,13 @@ MAPPERS = {
 
 class ServiceError(RuntimeError):
     """A job failed, was rejected, or the service is shutting down."""
+
+
+class ServiceDraining(ServiceError):
+    """The service is draining: admission is closed, in-flight work is
+    finishing, and queued jobs are being journaled.  A typed rejection
+    so clients can distinguish "resubmit elsewhere/later" from a hard
+    failure."""
 
 
 @dataclass(frozen=True)
@@ -157,6 +165,17 @@ class Job:
         #: Calibration-stream epoch at admission (0 without a stream).
         self.epoch: int = 0
         self.submitted_s: float = 0.0
+        #: One entry per worker-fatal incident this job's compute caused
+        #: (``{"kind": "crash"|"hang", "worker": id, "epoch": n}``) —
+        #: the evidence trail the quarantine decision and its terminal
+        #: error payload are built from.
+        self.attempt_history: list = []
+        #: Set when the job was quarantined (terminal; never retried).
+        self.quarantined: bool = False
+        #: Set while the job rides the recovery path (re-dispatch after
+        #: a worker loss); completions are labelled ``served_by=
+        #: "recovery"`` regardless of which process computed them.
+        self.recovering: bool = False
         self._done = threading.Event()
         self._response: Optional[CompileResponse] = None
         self._error: Optional[str] = None

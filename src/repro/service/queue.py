@@ -100,6 +100,21 @@ class JobQueue:
             self._closed = True
             self._cond.notify_all()
 
+    def drain(self) -> list:
+        """Remove and return every queued job in priority order.
+
+        Used by :meth:`CompilationService.drain` to journal the backlog
+        a deadline-bounded shutdown could not serve; the queue stays
+        usable (and, unless also closed, keeps admitting) afterwards.
+        """
+        with self._cond:
+            jobs = []
+            while self._heap:
+                _, job = heapq.heappop(self._heap)
+                self._depths[job.request.priority] -= 1
+                jobs.append(job)
+            return jobs
+
     # -- introspection -------------------------------------------------
     def depth(self, priority: Optional[str] = None) -> int:
         with self._cond:

@@ -18,22 +18,39 @@ instead of duplicating it.
 
 Fault tolerance: each job compiles under the resilience engine
 (deadline, seeded retries, degradation chain), and the parent watches
-worker liveness.  Assignment is parent-side (one task queue per
+worker *health*, not just liveness: each worker stamps a shared
+heartbeat timestamp on every loop turn (SIGKILL-safe, unlike a queue
+message), so a watchdog catches hung workers — process alive, compute
+wedged, stamp silent past ``heartbeat_budget_s`` — and SIGKILLs them
+onto the same recovery path
+a crashed worker takes.  Assignment is parent-side (one task queue per
 worker), so when a worker dies mid-job (e.g. an injected ``kill``
-fault) the parent's own books name the lost job — it is recomputed
-inline and the worker respawned, and the client still gets an answer.
+fault) the parent's own books name the lost job; a bounded recovery
+thread re-dispatches it with a fault-plan attempt offset (completions
+are labelled ``served_by="recovery"``), and a job that keeps killing
+or hanging workers is **quarantined** after ``max_job_attempts``
+incidents — a terminal error carrying the attempt history — so one
+poison request can never wedge the dispatcher or eat the pool.
+
+Shutdown: :meth:`CompilationService.drain` closes admission (typed
+:class:`~repro.service.jobs.ServiceDraining` rejections), finishes
+in-flight work under a deadline, journals whatever was still queued to
+a JSONL file a later process can resubmit from, and then stops —
+``repro serve`` wires it to SIGTERM/SIGINT.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
 import queue as stdlib_queue
 import threading
 import time
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..circuit import Circuit
+from ..circuit import Circuit, to_qasm
 from ..compiler.routing import NoiseAwareRouter, refresh_distance_caches
 from ..hardware import resolve_device
 from ..hardware.device import Device
@@ -41,8 +58,14 @@ from ..hardware.drift import CalibrationDelta, CalibrationStream, DriftDiff
 from ..runtime import shm
 from ..telemetry import metrics as telemetry_metrics
 from ..telemetry import tracing
-from .cache import ResultCache, ResultKey, result_key
-from .jobs import CompileRequest, CompileResponse, Job, ServiceError
+from .cache import ResultCache, ResultKey, calibration_version, result_key
+from .jobs import (
+    CompileRequest,
+    CompileResponse,
+    Job,
+    ServiceDraining,
+    ServiceError,
+)
 from .queue import JobQueue
 from .workers import (
     WarmWorkerPool,
@@ -51,7 +74,33 @@ from .workers import (
     publish_prewarm_tables,
 )
 
-__all__ = ["CompilationService", "ServiceClient"]
+__all__ = ["CompilationService", "DrainReport", "ServiceClient"]
+
+
+@dataclass
+class DrainReport:
+    """What one graceful drain accomplished, for the operator's log."""
+
+    completed: int = 0  #: jobs that finished during the drain window
+    journaled: int = 0  #: queued jobs written to the drain journal
+    failed_inflight: int = 0  #: in-flight jobs the deadline cut off
+    journal_path: Optional[str] = None
+    deadline_hit: bool = False
+    wall_s: float = 0.0
+    quarantined: int = 0
+    extra: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "completed": self.completed,
+            "journaled": self.journaled,
+            "failed_inflight": self.failed_inflight,
+            "journal_path": self.journal_path,
+            "deadline_hit": self.deadline_hit,
+            "wall_s": round(self.wall_s, 4),
+            "quarantined": self.quarantined,
+            **self.extra,
+        }
 
 
 class CompilationService:
@@ -66,9 +115,14 @@ class CompilationService:
         max_queue_depth: Optional[int] = None,
         start_timeout_s: float = 60.0,
         zero_copy: bool = False,
+        heartbeat_budget_s: Optional[float] = 30.0,
+        max_job_attempts: int = 3,
+        recovery_backlog: int = 128,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline)")
+        if max_job_attempts < 1:
+            raise ValueError("max_job_attempts must be >= 1")
         self.workers = workers
         #: Opt-in shared-memory prewarm: the parent publishes each
         #: device's distance/incident tables once and workers attach
@@ -101,6 +155,23 @@ class CompilationService:
         # never pair epoch N with epoch N+1's calibration.
         self._streams: Dict[str, CalibrationStream] = {}
         self._drift_lock = threading.Lock()
+        # Health watchdog: no beat from an *alive* worker for longer
+        # than the budget means it is hung (wedged compute, lost queue
+        # feeder) and gets SIGKILLed onto the crash-recovery path.
+        # ``None`` disables the watchdog.
+        self.heartbeat_budget_s = heartbeat_budget_s
+        self._hang_suspects: set = set()
+        # Poison-job quarantine + bounded recovery: jobs whose worker
+        # died are re-dispatched by a dedicated thread (never the
+        # dispatcher), and quarantined once they have caused
+        # ``max_job_attempts`` worker-fatal incidents.
+        self.max_job_attempts = max_job_attempts
+        self._recovery: "stdlib_queue.Queue[Optional[Job]]" = (
+            stdlib_queue.Queue(maxsize=recovery_backlog)
+        )
+        self._recovery_active = 0
+        self.quarantined: List[Dict] = []
+        self._draining = False
         self.drift_updates_total = 0
         self.drift_rows_recomputed_total = 0
         self.drift_tables_refreshed_total = 0
@@ -109,6 +180,9 @@ class CompilationService:
         self.coalesced_total = 0
         self.recovered_total = 0
         self.failed_total = 0
+        self.hangs_total = 0
+        self.quarantined_total = 0
+        self.respawns_total: Dict[str, int] = {"crash": 0, "hang": 0}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "CompilationService":
@@ -126,8 +200,17 @@ class CompilationService:
                 shm_tables, self._shm_segments = publish_prewarm_tables(
                     self._devices
                 )
+            # Idle workers must beat at least a few times per budget or
+            # an idle-but-hung worker would only be caught one full tick
+            # late.
+            idle_tick_s = 2.0
+            if self.heartbeat_budget_s is not None:
+                idle_tick_s = max(0.05, min(2.0, self.heartbeat_budget_s / 4))
             self._pool = WarmWorkerPool(
-                self.workers, self.device_specs, shm_tables=shm_tables
+                self.workers,
+                self.device_specs,
+                shm_tables=shm_tables,
+                idle_tick_s=idle_tick_s,
             )
             self._pool.start()
             collector = threading.Thread(
@@ -136,6 +219,12 @@ class CompilationService:
             )
             collector.start()
             self._threads.append(collector)
+            recovery = threading.Thread(
+                target=self._recovery_loop, name="repro-service-recovery",
+                daemon=True,
+            )
+            recovery.start()
+            self._threads.append(recovery)
             self._await_ready()
         else:
             # Inline mode still prewarms, so first-request latency and
@@ -185,6 +274,13 @@ class CompilationService:
             self._inflight.clear()
             self._assigned.clear()
             self._pending.clear()
+        while True:  # recovery backlog the recovery thread never reached
+            try:
+                job = self._recovery.get_nowait()
+            except stdlib_queue.Empty:
+                break
+            if job is not None:
+                leftovers.append(job)
         for job in leftovers:
             job.fail("service shut down")
 
@@ -200,6 +296,14 @@ class CompilationService:
         :class:`~repro.service.queue.AdmissionError` under overload."""
         if not self._running:
             raise ServiceError("service is not running")
+        if self._draining:
+            telemetry_metrics.counter(
+                "service_admission_rejects_total", reason="draining"
+            ).inc()
+            raise ServiceDraining(
+                "service is draining: admission is closed, in-flight "
+                "work is finishing; resubmit to another instance"
+            )
         request.validate()
         self._device(request.device)  # resolve + create the stream
         with self._drift_lock:
@@ -243,6 +347,18 @@ class CompilationService:
         """Current drift epoch of one device's calibration stream."""
         stream = self._streams.get(device)
         return stream.epoch if stream is not None else 0
+
+    def calibration_digest(self, device: str = "surface17") -> str:
+        """Cache-key digest of one device's *current* calibration.
+
+        This is the ``calibration`` component every job admitted at the
+        current epoch carries in its :class:`ResultKey` — recording it
+        per epoch lets an external checker (the chaos harness) verify
+        epoch pinning end to end: a payload's embedded digest must equal
+        the digest of the epoch the job was admitted at, never a later
+        one.
+        """
+        return calibration_version(self._device(device).calibration)
 
     def apply_drift(
         self, delta: CalibrationDelta, device: str = "surface17"
@@ -330,9 +446,104 @@ class CompilationService:
                 self._shm_segments.remove(name)
         return refs
 
+    # -- graceful drain ------------------------------------------------
+    def drain(
+        self,
+        deadline_s: float = 10.0,
+        journal: Optional[str] = None,
+    ) -> DrainReport:
+        """Gracefully wind the service down and stop it.
+
+        1. Close admission: new :meth:`submit` calls raise
+           :class:`~repro.service.jobs.ServiceDraining` and the
+           dispatcher stops feeding queued work to workers.
+        2. Wait up to ``deadline_s`` for everything already dispatched
+           (in-flight on workers, coalesced waiters, recovery backlog)
+           to resolve.
+        3. Journal whatever is still *queued* to ``journal`` (JSONL, one
+           ``{"seq", "priority", "device", "mapper", "epoch", "qasm"}``
+           line per job — enough to resubmit elsewhere) and fail those
+           jobs with a :class:`ServiceDraining`-worded error naming the
+           journal.
+        4. Stop: threads joined, pool escalation-stopped, shm segments
+           released.
+
+        Safe to call from a signal handler's thread; idempotent-ish in
+        that a second call on a stopped service raises ``ServiceError``.
+        """
+        if not self._running:
+            raise ServiceError("service is not running")
+        start = time.perf_counter()
+        self._draining = True
+        deadline = time.monotonic() + max(0.0, deadline_s)
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                busy = bool(self._inflight or self._pending)
+            if not busy and self._recovery.qsize() == 0 and (
+                self._recovery_active == 0
+            ):
+                break
+            time.sleep(0.01)
+        with self._state_lock:
+            deadline_hit = bool(self._inflight or self._pending)
+        leftovers = self.queue.drain()
+        journal_path: Optional[str] = None
+        if leftovers and journal:
+            journal_path = str(journal)
+            path = Path(journal_path)
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w", encoding="utf-8") as handle:
+                for job in leftovers:
+                    handle.write(
+                        json.dumps(
+                            {
+                                "seq": job.seq,
+                                "priority": job.request.priority,
+                                "device": job.request.device,
+                                "mapper": job.request.mapper,
+                                "epoch": job.epoch,
+                                "deadline_s": job.request.deadline_s,
+                                "qasm": to_qasm(job.request.circuit),
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+        for job in leftovers:
+            where = (
+                f"; journaled to {journal_path}" if journal_path else ""
+            )
+            self.failed_total += 1
+            job.fail(f"service draining before dispatch{where}")
+        inflight_before_stop = 0
+        with self._state_lock:
+            inflight_before_stop = len(self._inflight) + sum(
+                len(w) for w in self._pending.values()
+            )
+        self.stop()
+        report = DrainReport(
+            completed=self.requests_total - self.failed_total,
+            journaled=len(leftovers),
+            failed_inflight=inflight_before_stop if deadline_hit else 0,
+            journal_path=journal_path,
+            deadline_hit=deadline_hit,
+            wall_s=time.perf_counter() - start,
+            quarantined=self.quarantined_total,
+        )
+        if tracing.is_enabled():
+            telemetry_metrics.counter("service_drain_journaled_total").inc(
+                len(leftovers)
+            )
+        return report
+
     # -- dispatcher ----------------------------------------------------
     def _dispatch_loop(self) -> None:
         while True:
+            if self._draining:
+                # Drain stops feeding new work; whatever is still queued
+                # is journaled by drain() rather than dispatched.
+                break
             job = self.queue.pop(timeout=0.05)
             if job is None:
                 if not self._running:
@@ -389,6 +600,7 @@ class CompilationService:
                     job.device.calibration if job.device is not None else None
                 ),
                 epoch=job.epoch,
+                attempt_base=len(job.attempt_history),
             )
         except KeyError:  # pragma: no cover - respawn race guard
             with self._state_lock:
@@ -408,7 +620,9 @@ class CompilationService:
         if device is None:  # jobs constructed outside submit() (tests)
             device = self._device(job.request.device)
         try:
-            payload = compute_payload(job.request, device)
+            payload = compute_payload(
+                job.request, device, attempt_base=len(job.attempt_history)
+            )
         except Exception as exc:  # noqa: BLE001 - reported on the job
             self._finish_error(job, f"{type(exc).__name__}: {exc}")
             return
@@ -453,12 +667,9 @@ class CompilationService:
     def _collect_loop(self) -> None:
         assert self._pool is not None
         while True:
-            try:
-                message = self._pool.results.get(timeout=0.1)
-            except stdlib_queue.Empty:
-                message = None
-            if message is not None:
+            for message in self._pool.poll_messages(timeout_s=0.1):
                 self._handle_message(message)
+            self._check_hung_workers()
             self._recover_dead_workers()
             if not self._running and not self._inflight:
                 break
@@ -475,38 +686,214 @@ class CompilationService:
                 if self._assigned.get(worker_id) == job_seq:
                     self._assigned.pop(worker_id)
             if job is not None:
+                served_by = "recovery" if job.recovering else f"worker-{worker_id}"
                 if error is not None:
                     self._finish_error(job, error)
                 else:
-                    self._finish(job, payload, served_by=f"worker-{worker_id}")
-            # else: already recovered inline after a presumed-dead
-            # worker; the late result is redundant (and byte-identical).
+                    self._finish(job, payload, served_by=served_by)
+            # else: already recovered after a presumed-dead worker; the
+            # late result is redundant (and byte-identical).
             assert self._pool is not None
             if self._pool.is_alive(worker_id):
                 self._idle.put(worker_id)
 
+    def _check_hung_workers(self) -> None:
+        """The watchdog half of worker health: kill silent-but-alive
+        workers so the ordinary dead-worker sweep recovers their job.
+
+        A worker is *hung* when its process is alive but it has not
+        stamped its shared heartbeat slot (idle tick, task pickup,
+        completion — see ``_worker_main``) for longer than
+        ``heartbeat_budget_s``.  SIGKILL converts the hang into the
+        crash case the parent already knows how to recover — one code
+        path for both failure modes.  The budget must exceed the longest
+        legitimate compute: a worker does not beat *during* a compute,
+        so the stamp going quiet past the budget is the hang signal.
+        Startup is exempt — a worker stamps its first beat only once
+        prewarmed (0.0 until then), because prewarm cost varies with
+        device size and host load and must not be raced by the budget.
+        """
+        if self.heartbeat_budget_s is None:
+            return
+        assert self._pool is not None
+        now = time.monotonic()
+        for worker_id, beat in self._pool.heartbeats().items():
+            if beat == 0.0:
+                continue  # still prewarming; startup is not watched
+            if worker_id in self._hang_suspects:
+                continue  # already SIGKILLed; death lands asynchronously
+            if now - beat <= self.heartbeat_budget_s:
+                continue
+            if not self._pool.is_alive(worker_id):
+                continue  # already dead: the crash sweep owns it
+            if self._pool.kill(worker_id):
+                self.hangs_total += 1
+                self._hang_suspects.add(worker_id)
+                telemetry_metrics.counter("worker_hangs_total").inc()
+
     def _recover_dead_workers(self) -> None:
-        """Respawn dead workers; recompute their assigned jobs inline."""
+        """Respawn dead workers; route their assigned jobs to recovery.
+
+        Each lost job gets one incident appended to its attempt history
+        (``kind`` is ``"hang"`` when the watchdog killed the worker,
+        ``"crash"`` otherwise) and is then either re-dispatched through
+        the bounded recovery thread or — once it has caused
+        ``max_job_attempts`` worker-fatal incidents — quarantined.
+        """
         assert self._pool is not None
         dead = self._pool.dead_workers()
         if not dead:
             return
-        lost: List[Job] = []
+        reasons = {
+            worker_id: ("hang" if worker_id in self._hang_suspects else "crash")
+            for worker_id in dead
+        }
+        lost: List[tuple] = []
         with self._state_lock:
             for worker_id in dead:
                 job_seq = self._assigned.pop(worker_id, None)
                 if job_seq is not None:
                     job = self._inflight.pop(job_seq, None)
                     if job is not None:
-                        lost.append(job)
+                        lost.append((worker_id, job))
         for worker_id in dead:
+            self._hang_suspects.discard(worker_id)
+            self.respawns_total[reasons[worker_id]] += 1
+            telemetry_metrics.counter(
+                "worker_respawns_total", reason=reasons[worker_id]
+            ).inc()
             # The respawned worker announces itself with a ``ready``
             # message, which re-feeds the idle pool.
             self._pool.respawn(worker_id)
-        for job in lost:
+        for worker_id, job in lost:
+            job.attempt_history.append(
+                {
+                    "kind": reasons[worker_id],
+                    "worker": worker_id,
+                    "epoch": job.epoch,
+                }
+            )
+            if len(job.attempt_history) >= self.max_job_attempts:
+                self._quarantine(job)
+                continue
             self.recovered_total += 1
             telemetry_metrics.counter("service_jobs_recovered_total").inc()
-            self._compute_here(job, served_by="recovery")
+            self._enqueue_recovery(job)
+
+    def _enqueue_recovery(self, job: Job) -> None:
+        job.recovering = True
+        try:
+            self._recovery.put_nowait(job)
+        except stdlib_queue.Full:  # pragma: no cover - backlog bound
+            self._finish_error(job, "recovery backlog full")
+
+    def _quarantine(self, job: Job) -> None:
+        """Terminal-fail a job whose compute keeps taking workers down.
+
+        The job (and any coalesced waiters) get a typed error carrying
+        the full attempt history; a bounded record lands in
+        :attr:`quarantined` for ``stats()`` and the counter moves — but
+        the job is *never* recomputed, inline or otherwise: by now it
+        has proven it kills whatever process runs it.
+        """
+        job.quarantined = True
+        self.quarantined_total += 1
+        telemetry_metrics.counter("jobs_quarantined_total").inc()
+        history = job.attempt_history
+        entry = {
+            "seq": job.seq,
+            "circuit": job.key.circuit,
+            "device": job.key.device,
+            "mapper": job.key.mapper,
+            "epoch": job.epoch,
+            "priority": job.request.priority,
+            "attempts": list(history),
+            "reason": (
+                f"{len(history)} worker-fatal incidents "
+                f"({', '.join(i['kind'] for i in history)})"
+            ),
+        }
+        self.quarantined.append(entry)
+        del self.quarantined[:-64]  # bounded: stats() is not a database
+        with self._state_lock:
+            waiters = self._pending.pop(job.key, [])
+        error = (
+            f"quarantined after {len(history)} worker-fatal attempts "
+            f"[{', '.join(i['kind'] for i in history)}] "
+            f"(max_job_attempts={self.max_job_attempts})"
+        )
+        for failed in [job] + waiters:
+            failed.quarantined = True
+            self.failed_total += 1
+            failed.fail(error)
+
+    def _recovery_loop(self) -> None:
+        """Re-dispatch jobs whose worker died — off the dispatcher.
+
+        Recovery used to recompute inline on whichever thread noticed
+        the death; a poison job (or merely a slow one) would stall
+        dispatch and admission behind it.  This thread is the only
+        place recovery compute is initiated now, its backlog is
+        bounded, and it prefers re-dispatching to a (respawned) pool
+        worker — the parent only computes recovery payloads itself when
+        the pool is gone (shutdown races).
+        """
+        while True:
+            try:
+                job = self._recovery.get(timeout=0.1)
+            except stdlib_queue.Empty:
+                if not self._running:
+                    break
+                continue
+            if job is None:
+                break
+            self._recovery_active += 1
+            try:
+                if self._pool is not None and self._running:
+                    self._dispatch_to_worker(job)
+                else:  # pragma: no cover - shutdown race
+                    self._compute_here(job, served_by="recovery")
+            finally:
+                self._recovery_active -= 1
+
+    # -- fault-injection hooks (drills and the chaos harness) ----------
+    def alive_workers(self) -> int:
+        """Live pool processes right now (0 in inline mode)."""
+        return self._pool.alive_count() if self._pool is not None else 0
+
+    def inject_worker_kill(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """SIGKILL one live pool worker; returns its id (None if none).
+
+        The sanctioned way for drills and the chaos harness to take a
+        worker down mid-flight without reaching into pool internals —
+        the collector's dead-worker sweep must then respawn it and
+        recover whatever job it held.
+        """
+        if self._pool is None:
+            return None
+        alive = sorted(
+            w for w in self._pool.worker_ids() if self._pool.is_alive(w)
+        )
+        if not alive:
+            return None
+        victim = worker_id if worker_id is not None else alive[0]
+        return victim if self._pool.kill(victim) else None
+
+    def inject_shm_unlink(self) -> Optional[str]:
+        """Unlink one published shared-memory segment; returns its name.
+
+        Simulates losing a zero-copy prewarm segment out from under the
+        service (a crashed publisher, an over-eager cleaner).  Workers
+        respawned afterwards must fall back to local table rebuilds —
+        attach is an optimisation, never a correctness dependency — and
+        nothing may leak: the name is dropped from the release list so
+        shutdown accounting stays exact.
+        """
+        for name in list(self._shm_segments):
+            if shm.unlink(name):
+                self._shm_segments.remove(name)
+                return name
+        return None
 
     # -- introspection -------------------------------------------------
     def stats(self) -> dict:
@@ -520,6 +907,17 @@ class CompilationService:
             "coalesced": self.coalesced_total,
             "recovered": self.recovered_total,
             "failed": self.failed_total,
+            "draining": self._draining,
+            "health": {
+                "heartbeat_budget_s": self.heartbeat_budget_s,
+                "hangs": self.hangs_total,
+                "respawns": dict(self.respawns_total),
+            },
+            "quarantine": {
+                "total": self.quarantined_total,
+                "max_job_attempts": self.max_job_attempts,
+                "jobs": list(self.quarantined),
+            },
             "drift": {
                 "epochs": {
                     spec: stream.epoch
@@ -533,6 +931,43 @@ class CompilationService:
             "queue": self.queue.stats(),
             "cache": self.cache.stats(),
         }
+
+
+def install_drain_handlers(
+    service: CompilationService,
+    journal: Optional[str] = None,
+    deadline_s: float = 10.0,
+) -> dict:
+    """Wire SIGTERM/SIGINT to a graceful :meth:`~CompilationService.drain`.
+
+    On either signal the service stops admission, finishes in-flight
+    work under ``deadline_s``, journals the queued backlog to
+    ``journal`` and exits with status 0 — so ``kill <pid>`` (or Ctrl-C)
+    on ``repro serve`` is a clean drain, not an abandonment.  Returns
+    the previous handlers keyed by signal number so a caller (tests)
+    can restore them.  Must run on the main thread (CPython restricts
+    ``signal.signal`` to it).
+    """
+    import signal as _signal
+    import sys as _sys
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via kill
+        name = _signal.Signals(signum).name
+        print(f"{name} received; draining ...", file=_sys.stderr)
+        report = service.drain(deadline_s=deadline_s, journal=journal)
+        print(
+            f"drained: {report.completed} completed, "
+            f"{report.journaled} journaled"
+            + (f" to {report.journal_path}" if report.journal_path else "")
+            + (", deadline hit" if report.deadline_hit else ""),
+            file=_sys.stderr,
+        )
+        raise SystemExit(0)
+
+    previous = {}
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        previous[signum] = _signal.signal(signum, _handler)
+    return previous
 
 
 class ServiceClient:

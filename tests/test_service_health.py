@@ -1,0 +1,287 @@
+"""Worker health watchdog, poison-job quarantine and graceful drain.
+
+Pins the chaos-hardening contracts of ``repro.service``: a worker that
+wedges mid-compute (alive process, no heartbeat) is detected by the
+watchdog within the heartbeat budget, killed, respawned and its job
+recovered byte-identically; a job that keeps killing workers is
+quarantined after ``max_job_attempts`` incidents instead of being fed
+workers forever; ``drain()`` finishes in-flight work, journals queued
+jobs to JSONL and rejects new submits with the typed
+``ServiceDraining``; and the pool's ``stop()``/``respawn()`` never hang
+on or leak wedged processes.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    CompilationService,
+    CompileRequest,
+    ServiceClient,
+    ServiceDraining,
+    ServiceError,
+    WarmWorkerPool,
+    build_corpus,
+    install_drain_handlers,
+)
+
+DEVICE = "surface7"
+
+#: Far below the hang fault's 5 s sleep, so detection always wins.
+BUDGET_S = 0.5
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_corpus(6, seed=3, min_qubits=4, max_qubits=6)
+
+
+class TestHealthWatchdog:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_hung_worker_recovered_byte_identical(self, corpus, workers):
+        with CompilationService(workers=0, devices=(DEVICE,)) as service:
+            clean = ServiceClient(service).compile(corpus[1], device=DEVICE)
+        with CompilationService(
+            workers=workers,
+            devices=(DEVICE,),
+            heartbeat_budget_s=BUDGET_S,
+        ) as service:
+            client = ServiceClient(service)
+            hung = client.compile(
+                corpus[1], device=DEVICE, faults="hang@0", timeout=120.0
+            )
+            # Exact incident accounting: one hang detected, one respawn
+            # attributed to it, one job recovered, nothing failed.
+            assert service.hangs_total == 1
+            assert service.respawns_total == {"crash": 0, "hang": 1}
+            assert service.recovered_total == 1
+            assert service.failed_total == 0
+            assert service.quarantined_total == 0
+            follow_up = client.compile(corpus[2], device=DEVICE, timeout=120.0)
+        assert hung.served_by == "recovery"
+        assert hung.payload == clean.payload
+        assert follow_up.served_by.startswith("worker-")
+
+    def test_stats_expose_health_block(self, corpus):
+        with CompilationService(
+            workers=1, devices=(DEVICE,), heartbeat_budget_s=BUDGET_S
+        ) as service:
+            ServiceClient(service).compile(
+                corpus[0], device=DEVICE, faults="hang@0", timeout=120.0
+            )
+            health = service.stats()["health"]
+            assert health["heartbeat_budget_s"] == BUDGET_S
+            assert health["hangs"] == 1
+            assert health["respawns"] == {"crash": 0, "hang": 1}
+
+    def test_watchdog_disabled_with_none_budget(self, corpus):
+        # No heartbeat budget: a plain crash is still recovered through
+        # the dead-worker sweep, and nothing is ever labelled a hang.
+        with CompilationService(
+            workers=1, devices=(DEVICE,), heartbeat_budget_s=None
+        ) as service:
+            response = ServiceClient(service).compile(
+                corpus[3], device=DEVICE, faults="kill@0", timeout=120.0
+            )
+            assert service.hangs_total == 0
+            assert service.respawns_total == {"crash": 1, "hang": 0}
+        assert response.served_by == "recovery"
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_repeat_killer_is_quarantined(self, corpus, workers):
+        with CompilationService(
+            workers=workers,
+            devices=(DEVICE,),
+            heartbeat_budget_s=BUDGET_S,
+            max_job_attempts=2,
+        ) as service:
+            client = ServiceClient(service)
+            job = service.submit(
+                CompileRequest(
+                    circuit=corpus[4], device=DEVICE, faults="kill@0x6"
+                )
+            )
+            with pytest.raises(ServiceError, match="quarantined after 2"):
+                job.result(timeout=120.0)
+            assert job.quarantined
+            # Exactly two worker-fatal incidents were spent, both crashes.
+            assert [i["kind"] for i in job.attempt_history] == [
+                "crash",
+                "crash",
+            ]
+            assert service.quarantined_total == 1
+            assert service.failed_total == 1
+            assert service.respawns_total["crash"] == 2
+            block = service.stats()["quarantine"]
+            assert block["total"] == 1
+            assert block["max_job_attempts"] == 2
+            (entry,) = block["jobs"]
+            assert entry["reason"].startswith("2 worker-fatal incidents")
+            assert len(entry["attempts"]) == 2
+            # The service keeps serving after quarantining the poison job.
+            follow_up = client.compile(corpus[5], device=DEVICE, timeout=120.0)
+            assert follow_up.payload
+            assert service.failed_total == 1
+
+    def test_quarantine_fails_coalesced_waiters_too(self, corpus):
+        with CompilationService(
+            workers=1,
+            devices=(DEVICE,),
+            heartbeat_budget_s=BUDGET_S,
+            max_job_attempts=2,
+        ) as service:
+            request = CompileRequest(
+                circuit=corpus[4], device=DEVICE, faults="kill@0x6"
+            )
+            first = service.submit(request)
+            second = service.submit(request)  # coalesces onto first
+            for job in (first, second):
+                with pytest.raises(ServiceError, match="quarantined"):
+                    job.result(timeout=120.0)
+                assert job.quarantined
+            assert service.quarantined_total == 1
+            assert service.failed_total == 2
+
+    def test_single_kill_still_recovers_below_threshold(self, corpus):
+        # One incident < max_job_attempts: the job must recover, not
+        # quarantine, and the payload must match a fault-free twin.
+        with CompilationService(workers=0, devices=(DEVICE,)) as service:
+            clean = ServiceClient(service).compile(corpus[0], device=DEVICE)
+        with CompilationService(
+            workers=1,
+            devices=(DEVICE,),
+            heartbeat_budget_s=BUDGET_S,
+            max_job_attempts=3,
+        ) as service:
+            response = ServiceClient(service).compile(
+                corpus[0], device=DEVICE, faults="kill@0", timeout=120.0
+            )
+            assert service.quarantined_total == 0
+            assert service.recovered_total == 1
+        assert response.served_by == "recovery"
+        assert response.payload == clean.payload
+
+
+class TestPoolLifecycle:
+    def test_stop_returns_under_budget_with_hung_worker(self, corpus):
+        pool = WarmWorkerPool(1, (DEVICE,))
+        pool.start()
+        try:
+            request = CompileRequest(
+                circuit=corpus[0], device=DEVICE, faults="hang@0"
+            )
+            (worker_id,) = pool.worker_ids()
+            pool.submit(worker_id, 0, request)
+            time.sleep(0.3)  # let the worker pick the job up and wedge
+        finally:
+            start = time.monotonic()
+            pool.stop(timeout_s=3.0)
+            elapsed = time.monotonic() - start
+        assert elapsed < 6.0
+        assert pool.alive_count() == 0
+
+    def test_respawn_reaps_the_dead_process(self):
+        pool = WarmWorkerPool(1, (DEVICE,))
+        pool.start()
+        try:
+            (worker_id,) = pool.worker_ids()
+            old_pid = pool.pid(worker_id)
+            assert pool.kill(worker_id)
+            new_id = pool.respawn(worker_id)
+            assert pool.is_alive(new_id)
+            assert pool.pid(new_id) != old_pid
+            # The old process must be reaped, not left a zombie.
+            if os.path.exists(f"/proc/{old_pid}/stat"):
+                with open(f"/proc/{old_pid}/stat") as handle:
+                    state = handle.read().rsplit(")", 1)[1].split()[0]
+                assert state != "Z", f"pid {old_pid} left as a zombie"
+        finally:
+            pool.stop()
+        assert not pool._stragglers
+
+
+class TestGracefulDrain:
+    def test_drain_journals_queued_and_rejects_typed(self, corpus, tmp_path):
+        journal = tmp_path / "drain.jsonl"
+        service = CompilationService(workers=1, devices=(DEVICE,))
+        service.start()
+        jobs = [
+            service.submit(CompileRequest(circuit=c, device=DEVICE))
+            for c in corpus
+        ]
+        holder = {}
+        thread = threading.Thread(
+            target=lambda: holder.update(
+                report=service.drain(deadline_s=30.0, journal=journal)
+            )
+        )
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if service.stats()["draining"]:
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("service never reported draining")
+        with pytest.raises(ServiceDraining):
+            service.submit(CompileRequest(circuit=corpus[0], device=DEVICE))
+        thread.join(timeout=60.0)
+        report = holder["report"]
+        resolved = 0
+        journaled_failures = 0
+        for job in jobs:
+            try:
+                job.result(timeout=1.0)
+                resolved += 1
+            except ServiceError as exc:
+                assert "journaled" in str(exc)
+                journaled_failures += 1
+        assert resolved + journaled_failures == len(jobs)
+        assert journaled_failures == report.journaled
+        lines = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line
+        ]
+        assert len(lines) == report.journaled
+        for line in lines:
+            assert line["device"] == DEVICE
+            assert "OPENQASM" in line["qasm"]
+        assert report.journal_path == str(journal)
+        assert not service._running
+
+    def test_drain_idle_service_is_clean(self, corpus, tmp_path):
+        service = CompilationService(workers=0, devices=(DEVICE,))
+        service.start()
+        ServiceClient(service).compile(corpus[0], device=DEVICE)
+        report = service.drain(
+            deadline_s=5.0, journal=tmp_path / "idle.jsonl"
+        )
+        assert report.journaled == 0
+        assert report.failed_inflight == 0
+        assert not report.deadline_hit
+
+    def test_sigterm_triggers_drain(self, corpus, tmp_path):
+        service = CompilationService(workers=0, devices=(DEVICE,))
+        service.start()
+        previous = install_drain_handlers(
+            service, journal=tmp_path / "sig.jsonl"
+        )
+        try:
+            with pytest.raises(SystemExit):
+                os.kill(os.getpid(), signal.SIGTERM)
+                # The signal is delivered between bytecodes; give the
+                # interpreter a beat to run the handler.
+                for _ in range(100):
+                    time.sleep(0.01)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        assert not service._running
